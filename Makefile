@@ -1,0 +1,37 @@
+# Development targets for the physdes repository.
+
+GO ?= go
+
+.PHONY: all build test vet fmt bench experiments experiments-paper cover clean
+
+all: build vet test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+fmt:
+	gofmt -l -w .
+
+test:
+	$(GO) test ./...
+
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+# Regenerate every table and figure at quick scale (minutes).
+experiments:
+	$(GO) run ./cmd/benchrunner
+
+# Paper-scale experiment sizes (hours for the Monte-Carlo figures).
+experiments-paper:
+	$(GO) run ./cmd/benchrunner -paper
+
+cover:
+	$(GO) test -coverprofile=cover.out ./...
+	$(GO) tool cover -func=cover.out | tail -1
+
+clean:
+	rm -f cover.out test_output.txt bench_output.txt

@@ -1,0 +1,274 @@
+package physdes
+
+// Benchmarks regenerating the paper's tables and figures. Each experiment
+// of Section 7 has a matching benchmark:
+//
+//	Table 1   → BenchmarkTable1SigmaMax/rho=*      (the paper's own metric
+//	            is runtime, so these *are* the table)
+//	Figure 1  → BenchmarkFigure1EasyPair
+//	Figure 2  → BenchmarkFigure2FineStrat
+//	Figure 3  → BenchmarkFigure3HardPair
+//	Figure 4  → BenchmarkFigure4CRM
+//	Table 2   → BenchmarkTable2MultiConfigTPCD
+//	Table 3   → BenchmarkTable3MultiConfigCRM
+//	§7.3      → BenchmarkSec73Compression
+//	§6        → BenchmarkCLTSkewBound
+//
+// plus micro-benchmarks of the substrate (what-if calls, parsing, DP).
+// Full paper-format rows come from `go run ./cmd/benchrunner`.
+
+import (
+	"sync"
+	"testing"
+
+	"physdes/internal/bounds"
+	"physdes/internal/compress"
+	"physdes/internal/experiments"
+	"physdes/internal/sampling"
+	"physdes/internal/sqlparse"
+	"physdes/internal/stats"
+)
+
+// benchParams keeps the per-iteration work bounded; benchrunner regenerates
+// the full tables.
+func benchParams() experiments.Params {
+	return experiments.Params{
+		TPCDQueries: 2_000,
+		CRMQueries:  1_200,
+		Repeats:     20,
+		Ks:          []int{10},
+		SigmaN:      10_000,
+		Seed:        1,
+	}
+}
+
+var (
+	benchOnce     sync.Once
+	benchTPCD     *experiments.Scenario
+	benchCRM      *experiments.Scenario
+	benchEasy     *experiments.Pair
+	benchHard     *experiments.Pair
+	benchDisjoint *experiments.Pair
+)
+
+func benchSetup(b *testing.B) {
+	b.Helper()
+	benchOnce.Do(func() {
+		p := benchParams()
+		var err error
+		benchTPCD, err = experiments.TPCDScenario(p)
+		if err != nil {
+			panic(err)
+		}
+		benchCRM, err = experiments.CRMScenario(p)
+		if err != nil {
+			panic(err)
+		}
+		benchEasy = experiments.EasyPair(benchTPCD, p.Seed)
+		benchHard = experiments.HardPair(benchTPCD, p.Seed)
+		benchDisjoint = experiments.DisjointPair(benchCRM, p.Seed)
+	})
+}
+
+// benchMC runs one fixed-budget Monte-Carlo selection per iteration.
+func benchMC(b *testing.B, s *experiments.Scenario, pair *experiments.Pair, v experiments.SchemeVariant, budget int64) {
+	b.Helper()
+	tmplIdx := s.W.TemplateIndexOf()
+	tmplCount := s.W.NumTemplates()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		oracle := sampling.NewMatrixOracle(pair.Matrix)
+		_, err := sampling.Run(oracle, sampling.Options{
+			Scheme: v.Scheme, Strat: v.Strat, MaxCalls: budget, NMin: 20,
+			RNG:           stats.NewRNG(uint64(i) + 99),
+			TemplateIndex: tmplIdx, TemplateCount: tmplCount,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTable1SigmaMax(b *testing.B) {
+	ivs := experiments.SigmaIntervals(10_000, 3)
+	for _, rho := range []float64{10, 1, 0.1} {
+		b.Run(rhoName(rho), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := bounds.SigmaMaxDP(ivs, rho); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func rhoName(rho float64) string {
+	switch rho {
+	case 10:
+		return "rho=10"
+	case 1:
+		return "rho=1"
+	default:
+		return "rho=0.1"
+	}
+}
+
+func BenchmarkFigure1EasyPair(b *testing.B) {
+	benchSetup(b)
+	for _, v := range experiments.FigureVariants() {
+		b.Run(v.Name, func(b *testing.B) {
+			benchMC(b, benchTPCD, benchEasy, v, 200)
+		})
+	}
+}
+
+func BenchmarkFigure2FineStrat(b *testing.B) {
+	benchSetup(b)
+	for _, v := range experiments.Fig2Variants() {
+		b.Run(v.Name, func(b *testing.B) {
+			benchMC(b, benchTPCD, benchEasy, v, 200)
+		})
+	}
+}
+
+func BenchmarkFigure3HardPair(b *testing.B) {
+	benchSetup(b)
+	for _, v := range experiments.FigureVariants() {
+		b.Run(v.Name, func(b *testing.B) {
+			benchMC(b, benchTPCD, benchHard, v, 400)
+		})
+	}
+}
+
+func BenchmarkFigure4CRM(b *testing.B) {
+	benchSetup(b)
+	for _, v := range experiments.FigureVariants() {
+		b.Run(v.Name, func(b *testing.B) {
+			benchMC(b, benchCRM, benchDisjoint, v, 300)
+		})
+	}
+}
+
+// benchAdaptive runs the full Table 2/3 primitive (adaptive termination,
+// stability window, elimination) once per iteration on a k-configuration
+// matrix.
+func benchAdaptive(b *testing.B, s *experiments.Scenario, k int) {
+	b.Helper()
+	_, m := experiments.Space(s, k, 11)
+	tmplIdx := s.W.TemplateIndexOf()
+	tmplCount := s.W.NumTemplates()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		oracle := sampling.NewMatrixOracle(m)
+		_, err := sampling.Run(oracle, sampling.Options{
+			Scheme: sampling.Delta, Strat: sampling.Progressive,
+			Alpha: 0.9, StabilityWindow: 10, EliminationThreshold: 0.995,
+			RNG:           stats.NewRNG(uint64(i) + 7),
+			TemplateIndex: tmplIdx, TemplateCount: tmplCount,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTable2MultiConfigTPCD(b *testing.B) {
+	benchSetup(b)
+	benchAdaptive(b, benchTPCD, 10)
+}
+
+func BenchmarkTable3MultiConfigCRM(b *testing.B) {
+	benchSetup(b)
+	benchAdaptive(b, benchCRM, 10)
+}
+
+func BenchmarkSec73Compression(b *testing.B) {
+	benchSetup(b)
+	w := benchTPCD.W
+	empty := NewConfiguration("empty")
+	costs := make([]float64, w.Size())
+	for i, q := range w.Queries {
+		costs[i] = benchTPCD.Opt.Cost(q.Analysis, empty)
+	}
+	b.Run("TopCost", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			compress.TopCost(w, costs, 0.2)
+		}
+	})
+	b.Run("Cluster", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			compress.Cluster(w, costs, 50)
+		}
+	})
+}
+
+func BenchmarkCLTSkewBound(b *testing.B) {
+	ivs := experiments.SigmaIntervals(5_000, 9)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := bounds.SkewMax(ivs, 1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- substrate micro-benchmarks ---
+
+func BenchmarkWhatIfCall(b *testing.B) {
+	benchSetup(b)
+	q := benchTPCD.W.Queries[0].Analysis
+	cfg := NewConfiguration("bench",
+		NewIndex("lineitem", []string{"l_shipdate"}),
+		NewIndex("orders", []string{"o_orderkey"}))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		benchTPCD.Opt.Cost(q, cfg)
+	}
+}
+
+func BenchmarkParseAnalyze(b *testing.B) {
+	cat := TPCDCatalog(0.01)
+	const src = "SELECT l_orderkey, SUM(l_extendedprice * (1 - l_discount)), o_orderdate " +
+		"FROM customer c, orders o, lineitem l WHERE c.c_custkey = o.o_custkey " +
+		"AND l.l_orderkey = o.o_orderkey AND c_mktsegment = 'SEG#1' AND o_orderdate < 100 " +
+		"GROUP BY l_orderkey, o_orderdate"
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		stmt, err := sqlparse.Parse(src)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := sqlparse.Analyze(stmt, cat.Resolve); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTemplateExtraction(b *testing.B) {
+	stmt, err := sqlparse.Parse("SELECT a, b FROM t WHERE a = 5 AND b BETWEEN 1 AND 2 AND c IN (1,2,3)")
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sqlparse.Template(stmt)
+	}
+}
+
+func BenchmarkSelectEndToEnd(b *testing.B) {
+	cat := TPCDCatalog(0.1)
+	wl, err := GenTPCD(cat, 1_000, 3)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cands := EnumerateCandidates(cat, wl, CandidateOptions{Covering: true})
+	configs := GenerateConfigurations(cat, cands, 4, 5, SpaceOptions{MinStructures: 3, MaxStructures: 8})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		opt := NewOptimizer(cat)
+		o := DefaultOptions(uint64(i) + 1)
+		if _, err := Select(opt, wl, configs, o); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

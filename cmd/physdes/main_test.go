@@ -1,0 +1,93 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"physdes"
+)
+
+func TestBuildWorkload(t *testing.T) {
+	cat, w, err := buildWorkload("tpcd", 50, 1)
+	if err != nil || cat == nil || w.Size() != 50 {
+		t.Fatalf("tpcd build: %v, size %d", err, w.Size())
+	}
+	if _, _, err := buildWorkload("nope", 10, 1); err == nil {
+		t.Error("unknown db should error")
+	}
+}
+
+func TestLoadWorkloadFileJSONL(t *testing.T) {
+	cat, w, err := buildWorkload("tpcd", 30, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "wl.jsonl")
+	if err := physdes.SaveWorkload(w, path); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := loadWorkloadFile(cat, path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.Size() != 30 {
+		t.Errorf("loaded %d statements", loaded.Size())
+	}
+	for i := range loaded.Queries {
+		if loaded.Queries[i].SQL != w.Queries[i].SQL {
+			t.Fatalf("statement %d mismatch", i)
+		}
+	}
+}
+
+func TestLoadWorkloadFilePlainSQL(t *testing.T) {
+	cat := physdes.TPCDCatalog(0.01)
+	path := filepath.Join(t.TempDir(), "wl.sql")
+	content := `-- a comment
+SELECT l_quantity FROM lineitem WHERE l_orderkey = 5
+
+SELECT o_totalprice FROM orders WHERE o_orderkey = 7
+`
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	w, err := loadWorkloadFile(cat, path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.Size() != 2 {
+		t.Errorf("loaded %d statements, want 2 (comments and blanks skipped)", w.Size())
+	}
+}
+
+func TestLoadWorkloadFileMissing(t *testing.T) {
+	cat := physdes.TPCDCatalog(0.01)
+	if _, err := loadWorkloadFile(cat, filepath.Join(t.TempDir(), "missing.sql")); err == nil {
+		t.Error("missing file should error")
+	}
+	if _, err := loadWorkloadFile(cat, filepath.Join(t.TempDir(), "missing.jsonl")); err == nil {
+		t.Error("missing jsonl should error")
+	}
+}
+
+func TestLoadWorkloadFileScript(t *testing.T) {
+	cat := physdes.TPCDCatalog(0.01)
+	path := filepath.Join(t.TempDir(), "wl2.sql")
+	content := `-- multi-line script with semicolons
+SELECT l_quantity
+  FROM lineitem
+ WHERE l_orderkey = 5;
+SELECT o_totalprice FROM orders WHERE o_orderkey = 7;
+`
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	w, err := loadWorkloadFile(cat, path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.Size() != 2 {
+		t.Errorf("loaded %d statements, want 2", w.Size())
+	}
+}

@@ -1,0 +1,69 @@
+// Command wlgen generates synthetic workloads against the built-in schemas
+// and writes them as a workload table (line-delimited JSON with id,
+// template hash and SQL — the Section 5 preprocessing format), or prints
+// the SQL to stdout with -print.
+//
+//	wlgen -db tpcd -n 13000 -seed 1 -out tpcd13k.jsonl
+//	wlgen -db crm  -n 6000  -print | head
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+
+	"physdes"
+)
+
+func main() {
+	var (
+		db    = flag.String("db", "tpcd", "database: tpcd or crm")
+		n     = flag.Int("n", 13_000, "number of statements")
+		seed  = flag.Uint64("seed", 1, "random seed")
+		out   = flag.String("out", "workload.jsonl", "output file")
+		print = flag.Bool("print", false, "print SQL to stdout instead of writing the table")
+		stats = flag.Bool("stats", false, "print per-template statistics")
+	)
+	flag.Parse()
+
+	var (
+		w   *physdes.Workload
+		err error
+	)
+	switch *db {
+	case "tpcd":
+		w, err = physdes.GenTPCD(physdes.TPCDCatalog(1), *n, *seed)
+	case "crm":
+		w, err = physdes.GenCRM(physdes.CRMCatalog(), *n, *seed)
+	default:
+		err = fmt.Errorf("unknown database %q", *db)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "wlgen:", err)
+		os.Exit(1)
+	}
+
+	if *print {
+		bw := bufio.NewWriter(os.Stdout)
+		for _, q := range w.Queries {
+			fmt.Fprintln(bw, q.SQL)
+		}
+		bw.Flush()
+		return
+	}
+	if err := physdes.SaveWorkload(w, *out); err != nil {
+		fmt.Fprintln(os.Stderr, "wlgen:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("wrote %d statements, %d templates → %s\n", w.Size(), w.NumTemplates(), *out)
+	if *stats {
+		for _, ti := range w.Templates() {
+			sql := ti.SQL
+			if len(sql) > 72 {
+				sql = sql[:69] + "..."
+			}
+			fmt.Printf("%6d  %s\n", len(ti.Members), sql)
+		}
+	}
+}

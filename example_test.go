@@ -1,0 +1,81 @@
+package physdes_test
+
+import (
+	"fmt"
+
+	"physdes"
+)
+
+// Compare two hand-built configurations on a workload with a probabilistic
+// guarantee instead of exhaustively costing every query.
+func ExampleSelect() {
+	cat := physdes.TPCDCatalog(0.05)
+	wl, err := physdes.GenTPCD(cat, 2_000, 42)
+	if err != nil {
+		panic(err)
+	}
+	opt := physdes.NewOptimizer(cat)
+
+	current := physdes.NewConfiguration("current",
+		physdes.NewIndex("orders", []string{"o_orderkey"}))
+	proposed := current.With("proposed",
+		physdes.NewIndex("lineitem", []string{"l_orderkey"}),
+		physdes.NewIndex("lineitem", []string{"l_shipdate"}))
+
+	o := physdes.DefaultOptions(7)
+	o.Alpha = 0.95
+	sel, err := physdes.Select(opt, wl, []*physdes.Configuration{current, proposed}, o)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("winner:", sel.Best.Name())
+	fmt.Println("confident:", sel.PrCS >= 0.95)
+	fmt.Println("cheaper than exhaustive:", sel.OptimizerCalls < sel.ExhaustiveCalls)
+	// Output:
+	// winner: proposed
+	// confident: true
+	// cheaper than exhaustive: true
+}
+
+// Derive candidate structures from a workload and search a configuration
+// space, as an index advisor would.
+func ExampleEnumerateCandidates() {
+	cat := physdes.TPCDCatalog(0.05)
+	wl, err := physdes.ParseWorkload(cat, []string{
+		"SELECT l_quantity FROM lineitem WHERE l_shipdate BETWEEN 100 AND 200",
+		"SELECT o_totalprice FROM orders WHERE o_orderkey = 7",
+	})
+	if err != nil {
+		panic(err)
+	}
+	cands := physdes.EnumerateCandidates(cat, wl, physdes.CandidateOptions{Covering: true})
+	fmt.Println("have candidates:", len(cands) > 0)
+	for _, c := range cands {
+		if ix, ok := c.(*physdes.Index); ok && ix.Table == "orders" {
+			fmt.Println("orders candidate lead column:", ix.LeadColumn())
+			break
+		}
+	}
+	// Output:
+	// have candidates: true
+	// orders candidate lead column: o_orderkey
+}
+
+// Templates identify statements that differ only in constants — the unit
+// the paper's stratification works on.
+func ExampleParseWorkload() {
+	cat := physdes.TPCDCatalog(0.05)
+	wl, err := physdes.ParseWorkload(cat, []string{
+		"SELECT c_name FROM customer WHERE c_custkey = 1",
+		"SELECT c_name FROM customer WHERE c_custkey = 999",
+		"SELECT o_totalprice FROM orders WHERE o_orderdate < 50",
+	})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("statements:", wl.Size())
+	fmt.Println("templates:", wl.NumTemplates())
+	// Output:
+	// statements: 3
+	// templates: 2
+}

@@ -1,0 +1,82 @@
+// Tuning vs workload compression (the Section 7.3 story): tuning a
+// workload compressed by the top-cost heuristic [20] misses design
+// structures for the templates the compression dropped; tuning random
+// samples of the same size — what the paper's Delta-sampling primitive
+// evaluates — generalizes better, and the clustering compression [5] pays
+// an O(N·k) distance bill for comparable quality.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"physdes"
+)
+
+func main() {
+	cat := physdes.TPCDCatalog(1)
+	wl, err := physdes.GenTPCD(cat, 2_000, 9) // the paper's 2K-query setup
+	if err != nil {
+		log.Fatal(err)
+	}
+	opt := physdes.NewOptimizer(cat)
+	cands := physdes.EnumerateCandidates(cat, wl, physdes.CandidateOptions{Covering: true})
+
+	// Current-configuration costs drive both compressions.
+	empty := physdes.NewConfiguration("empty")
+	costs := make([]float64, wl.Size())
+	for i, q := range wl.Queries {
+		costs[i] = opt.Cost(q.Analysis, empty)
+	}
+
+	tuneOn := func(name string, ids []int, weights []float64, extra string) {
+		sub := wl.Subset(ids)
+		res := physdes.TuneGreedy(opt, cat, sub, weights, cands, physdes.TunerOptions{MaxStructures: 6})
+		imp := physdes.EvaluateImprovement(opt, wl, res.Config)
+		fmt.Printf("%-28s kept=%-4d full-workload improvement=%5.1f%% %s\n",
+			name, len(ids), 100*imp, extra)
+	}
+
+	// [20]: keep the top 20% of cost.
+	top := physdes.CompressTopCost(wl, costs, 0.2)
+	tuneOn("TopCost[20] X=20%", top.IDs, top.Weights,
+		fmt.Sprintf("(covers %d/%d templates)", top.TemplateCoverage(wl), wl.NumTemplates()))
+
+	// Random samples of the same size (averagable; one shown per seed).
+	for seed := uint64(1); seed <= 3; seed++ {
+		samp := randomIDs(wl.Size(), top.Size(), seed)
+		weights := make([]float64, len(samp))
+		for i := range weights {
+			weights[i] = float64(wl.Size()) / float64(len(samp))
+		}
+		tuneOn(fmt.Sprintf("Random sample #%d", seed), samp, weights, "")
+	}
+
+	// [5]: clustering compression of the same size.
+	cl := physdes.CompressCluster(wl, costs, top.Size())
+	tuneOn("Cluster[5]", cl.IDs, cl.Weights,
+		fmt.Sprintf("(%d distance computations)", cl.DistanceComputations))
+
+	// Full-workload tuning as the reference ceiling.
+	res := physdes.TuneGreedy(opt, cat, wl, nil, cands, physdes.TunerOptions{MaxStructures: 6})
+	fmt.Printf("%-28s kept=%-4d full-workload improvement=%5.1f%% (reference)\n",
+		"Full workload", wl.Size(), 100*res.Improvement())
+}
+
+// randomIDs returns n distinct indices in [0, total) via a seeded shuffle.
+func randomIDs(total, n int, seed uint64) []int {
+	ids := make([]int, total)
+	for i := range ids {
+		ids[i] = i
+	}
+	// xorshift-ish deterministic shuffle to keep the example stdlib-free.
+	s := seed*2862933555777941757 + 3037000493
+	for i := total - 1; i > 0; i-- {
+		s ^= s << 13
+		s ^= s >> 7
+		s ^= s << 17
+		j := int(s % uint64(i+1))
+		ids[i], ids[j] = ids[j], ids[i]
+	}
+	return ids[:n]
+}

@@ -1,0 +1,3 @@
+module physdes
+
+go 1.22

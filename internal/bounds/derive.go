@@ -1,0 +1,173 @@
+package bounds
+
+import (
+	"physdes/internal/catalog"
+	"physdes/internal/optimizer"
+	"physdes/internal/physical"
+	"physdes/internal/sqlparse"
+	"physdes/internal/workload"
+)
+
+// Deriver computes per-query cost intervals per Section 6.1.
+//
+// SELECT statements: the cost in the base configuration — the structures
+// present in every configuration enumerated during tuning — upper-bounds
+// the cost in any enumerated configuration (the optimizer is well-behaved);
+// the cost in the base configuration augmented with every structure
+// potentially useful to the query (the stand-in for the instrumented
+// optimizer of Bruno & Chaudhuri [2]) lower-bounds it.
+//
+// UPDATE/INSERT/DELETE statements: per template, the members with the
+// largest and smallest WHERE selectivity bound every member's write cost
+// (pure update cost grows with selectivity); the write part's maintenance
+// is bounded between the base configuration (fewest structures) and the
+// union of all candidate structures (most maintenance). This needs only
+// two optimizer calls per template and configuration, as the paper notes.
+type Deriver struct {
+	opt  *optimizer.Optimizer
+	cat  *catalog.Catalog
+	base *physical.Configuration
+	all  *physical.Configuration
+}
+
+// NewDeriver builds a deriver for a tuning session whose configuration
+// space is spanned by configs: the base configuration is their
+// intersection, and the all-structures configuration their union.
+func NewDeriver(opt *optimizer.Optimizer, configs ...*physical.Configuration) *Deriver {
+	return &Deriver{
+		opt:  opt,
+		cat:  opt.Catalog(),
+		base: physical.Intersection("base", configs...),
+		all:  physical.Union("all-structures", configs...),
+	}
+}
+
+// Base returns the base configuration in use.
+func (d *Deriver) Base() *physical.Configuration { return d.base }
+
+// QueryInterval bounds one SELECT's cost across the configuration space.
+func (d *Deriver) QueryInterval(a *sqlparse.Analysis) Interval {
+	hi := d.opt.Cost(a, d.base)
+	// Structures potentially useful to this query: its own candidates,
+	// grafted onto the base.
+	cands := physical.EnumerateCandidates(d.cat, []*sqlparse.Analysis{a},
+		physical.CandidateOptions{Covering: true, Views: true})
+	best := d.base.With("best-for-query", cands...)
+	lo := d.opt.Cost(a, best)
+	if lo > hi {
+		lo = hi // guard against cost-model noise
+	}
+	return Interval{Lo: lo, Hi: hi}
+}
+
+// updateInterval bounds one DML statement's cost across the space using
+// the Section 6.1 split: the locate (SELECT) part is worst in the base
+// configuration and best with every seek structure available; the write
+// part is worst with every structure maintained (the union configuration)
+// and best in the base configuration.
+func (d *Deriver) updateInterval(a *sqlparse.Analysis) Interval {
+	locateHi, _ := d.opt.UpdateParts(a, d.base)
+	_, writeHi := d.opt.UpdateParts(a, d.all)
+	cands := physical.EnumerateCandidates(d.cat, []*sqlparse.Analysis{a},
+		physical.CandidateOptions{Covering: false, Views: false})
+	seek := d.base.With("seek-for-update", cands...)
+	locateLo, writeLo := d.opt.UpdateParts(a, seek)
+	baseLocate, baseWrite := d.opt.UpdateParts(a, d.base)
+	if baseLocate < locateLo {
+		locateLo = baseLocate
+	}
+	if baseWrite < writeLo {
+		writeLo = baseWrite
+	}
+	lo, hi := locateLo+writeLo, locateHi+writeHi
+	if lo > hi {
+		lo = hi
+	}
+	return Interval{Lo: lo, Hi: hi}
+}
+
+// WorkloadIntervals derives cost intervals for the entire workload.
+// SELECT statements are bounded individually; DML statements are bounded
+// per template via their extreme-selectivity members, so the optimizer is
+// called O(#templates) rather than O(N) times for the DML part.
+func (d *Deriver) WorkloadIntervals(w *workload.Workload) []Interval {
+	out := make([]Interval, w.Size())
+
+	// Per-template extreme members for DML.
+	type extremes struct {
+		minQ, maxQ     int
+		minSel, maxSel float64
+		seen           bool
+	}
+	ext := make(map[sqlparse.TemplateID]*extremes)
+	for _, q := range w.Queries {
+		if !q.Analysis.Kind.IsUpdate() {
+			continue
+		}
+		sel := d.opt.SelectivityOf(q.Analysis)
+		e, ok := ext[q.Template]
+		if !ok {
+			ext[q.Template] = &extremes{minQ: q.ID, maxQ: q.ID, minSel: sel, maxSel: sel, seen: true}
+			continue
+		}
+		if sel < e.minSel {
+			e.minSel, e.minQ = sel, q.ID
+		}
+		if sel > e.maxSel {
+			e.maxSel, e.maxQ = sel, q.ID
+		}
+	}
+	// Template bounds derive from two member statements; other members'
+	// costs can exceed them by the optimizer's per-query variability band,
+	// so widen accordingly (the paper: "even very conservative cost bounds
+	// tend to work well").
+	bandLo, bandHi := optimizer.CostBand()
+	dmlBounds := make(map[sqlparse.TemplateID]Interval, len(ext))
+	for tid, e := range ext {
+		lo := d.updateInterval(w.Queries[e.minQ].Analysis).Lo * bandLo / bandHi
+		hi := d.updateInterval(w.Queries[e.maxQ].Analysis).Hi * bandHi / bandLo
+		if lo > hi {
+			lo = hi
+		}
+		dmlBounds[tid] = Interval{Lo: lo, Hi: hi}
+	}
+
+	for i, q := range w.Queries {
+		if q.Analysis.Kind.IsUpdate() {
+			out[i] = dmlBounds[q.Template]
+		} else {
+			out[i] = d.QueryInterval(q.Analysis)
+		}
+	}
+	return out
+}
+
+// DiffIntervals converts per-query cost intervals under two configurations
+// into intervals on the per-query cost *difference* — the population Delta
+// Sampling estimates. For query i with cost in [loA, hiA] under A and
+// [loB, hiB] under B, the difference lies in [loA−hiB, hiA−loB]. The
+// result is shifted to be non-negative (variance and skew are translation
+// invariant), so it can feed SigmaMaxDP directly.
+func DiffIntervals(a, b []Interval) []Interval {
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	out := make([]Interval, n)
+	minLo := 0.0
+	for i := 0; i < n; i++ {
+		lo := a[i].Lo - b[i].Hi
+		hi := a[i].Hi - b[i].Lo
+		out[i] = Interval{Lo: lo, Hi: hi}
+		if lo < minLo {
+			minLo = lo
+		}
+	}
+	if minLo < 0 {
+		for i := range out {
+			out[i].Lo -= minLo
+			out[i].Hi -= minLo
+		}
+	}
+	return out
+}

@@ -1,0 +1,203 @@
+package catalog
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestNewTableDuplicateColumnPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic on duplicate column")
+		}
+	}()
+	NewTable("t", 1, []Column{{Name: "a"}, {Name: "a"}})
+}
+
+func TestTableLookupAndWidth(t *testing.T) {
+	tbl := NewTable("t", 1000, []Column{
+		{Name: "a", Type: TypeInt, Distinct: 10, Width: 4},
+		{Name: "b", Type: TypeString, Distinct: 100, Width: 20},
+	})
+	if c, ok := tbl.Column("a"); !ok || c.Distinct != 10 {
+		t.Errorf("Column(a) = %+v, %v", c, ok)
+	}
+	if _, ok := tbl.Column("zzz"); ok {
+		t.Error("missing column lookup should fail")
+	}
+	if w := tbl.RowWidth(); w != 24 {
+		t.Errorf("RowWidth = %d", w)
+	}
+	// 8192/24 = 341 rows/page; 1000 rows → 3 pages.
+	if p := tbl.Pages(); p != 3 {
+		t.Errorf("Pages = %d", p)
+	}
+}
+
+func TestPagesNeverZero(t *testing.T) {
+	tbl := NewTable("t", 0, []Column{{Name: "a", Width: 4}})
+	if tbl.Pages() < 1 {
+		t.Error("Pages must be at least 1")
+	}
+	wide := NewTable("w", 2, []Column{{Name: "a", Width: 100000}})
+	if wide.Pages() < 2 {
+		t.Errorf("wide table Pages = %d", wide.Pages())
+	}
+}
+
+func TestCatalogResolve(t *testing.T) {
+	c := New(
+		NewTable("x", 10, []Column{{Name: "x_a", Width: 4}, {Name: "shared", Width: 4}}),
+		NewTable("y", 10, []Column{{Name: "y_a", Width: 4}, {Name: "shared", Width: 4}}),
+	)
+	if tbl, ok := c.Resolve("x_a"); !ok || tbl != "x" {
+		t.Errorf("Resolve(x_a) = %q, %v", tbl, ok)
+	}
+	if _, ok := c.Resolve("shared"); ok {
+		t.Error("ambiguous column must not resolve")
+	}
+	if _, ok := c.Resolve("nope"); ok {
+		t.Error("unknown column must not resolve")
+	}
+}
+
+func TestCatalogDuplicateTablePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	New(NewTable("t", 1, nil), NewTable("t", 1, nil))
+}
+
+func TestCatalogAccessors(t *testing.T) {
+	c := New(NewTable("b", 1, nil), NewTable("a", 1, nil))
+	names := c.TableNames()
+	if len(names) != 2 || names[0] != "a" || names[1] != "b" {
+		t.Errorf("TableNames = %v", names)
+	}
+	if c.NumTables() != 2 {
+		t.Errorf("NumTables = %d", c.NumTables())
+	}
+	if _, ok := c.Table("a"); !ok {
+		t.Error("Table(a) missing")
+	}
+	if _, ok := c.Table("zz"); ok {
+		t.Error("Table(zz) should be absent")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("MustTable should panic on missing table")
+		}
+	}()
+	c.MustTable("zz")
+}
+
+func TestTPCDSchema(t *testing.T) {
+	c := TPCD(0.01)
+	wantTables := []string{"customer", "lineitem", "nation", "orders", "part", "partsupp", "region", "supplier"}
+	got := c.TableNames()
+	if len(got) != len(wantTables) {
+		t.Fatalf("tables = %v", got)
+	}
+	for i := range wantTables {
+		if got[i] != wantTables[i] {
+			t.Errorf("table[%d] = %q, want %q", i, got[i], wantTables[i])
+		}
+	}
+	li := c.MustTable("lineitem")
+	if li.Rows != 60_000 {
+		t.Errorf("lineitem rows at scale .01 = %d", li.Rows)
+	}
+	// Every foreign key edge must reference existing columns.
+	for _, fk := range TPCDForeignKeys {
+		if _, ok := c.ColumnStats(fk[0], fk[1]); !ok {
+			t.Errorf("FK child %s.%s missing", fk[0], fk[1])
+		}
+		if _, ok := c.ColumnStats(fk[2], fk[3]); !ok {
+			t.Errorf("FK parent %s.%s missing", fk[2], fk[3])
+		}
+	}
+	// Unqualified resolution works for all columns (unique prefixes).
+	for _, name := range c.TableNames() {
+		tbl := c.MustTable(name)
+		for _, col := range tbl.Columns {
+			owner, ok := c.Resolve(col.Name)
+			if !ok || owner != name {
+				t.Errorf("Resolve(%s) = %q, %v; want %q", col.Name, owner, ok, name)
+			}
+		}
+	}
+}
+
+func TestTPCDScaleOneSize(t *testing.T) {
+	c := TPCD(1)
+	gb := float64(c.TotalBytes()) / (1 << 30)
+	if gb < 0.5 || gb > 2.0 {
+		t.Errorf("TPC-D scale-1 size = %.2f GB, want ~1 GB", gb)
+	}
+}
+
+func TestCRMSchema(t *testing.T) {
+	c := CRM()
+	if c.NumTables() < 500 {
+		t.Errorf("CRM tables = %d, want 500+", c.NumTables())
+	}
+	gb := float64(c.TotalBytes()) / (1 << 30)
+	if gb < 0.3 || gb > 2.0 {
+		t.Errorf("CRM size = %.2f GB, want ~0.7 GB", gb)
+	}
+	for _, fk := range CRMForeignKeys {
+		if _, ok := c.ColumnStats(fk[0], fk[1]); !ok {
+			t.Errorf("FK child %s.%s missing", fk[0], fk[1])
+		}
+		if _, ok := c.ColumnStats(fk[2], fk[3]); !ok {
+			t.Errorf("FK parent %s.%s missing", fk[2], fk[3])
+		}
+	}
+	// All columns resolve unambiguously.
+	for _, name := range c.TableNames() {
+		tbl := c.MustTable(name)
+		for _, col := range tbl.Columns {
+			owner, ok := c.Resolve(col.Name)
+			if !ok || owner != name {
+				t.Errorf("Resolve(%s) → %q, %v; want %q", col.Name, owner, ok, name)
+			}
+		}
+	}
+}
+
+func TestStringValueRankRoundTrip(t *testing.T) {
+	cases := []int{1, 7, 42, 99999}
+	for _, r := range cases {
+		s := StringValue("SEG", r)
+		if got := RankOfString(s); got != r {
+			t.Errorf("RankOfString(%q) = %d, want %d", s, got, r)
+		}
+		if got := RankOfString("'" + s + "'"); got != r {
+			t.Errorf("quoted RankOfString = %d, want %d", got, r)
+		}
+	}
+	if RankOfString("no rank here") != 0 {
+		t.Error("rankless string should return 0")
+	}
+	if RankOfString("trailing123") != 0 {
+		t.Error("digits without '#' separator should not parse as rank")
+	}
+	if RankOfString("#123") != 0 {
+		t.Error("rank with empty prefix should not parse")
+	}
+}
+
+func TestColumnTypeString(t *testing.T) {
+	for ct, want := range map[ColumnType]string{
+		TypeInt: "int", TypeFloat: "float", TypeDate: "date", TypeString: "string",
+	} {
+		if ct.String() != want {
+			t.Errorf("%d.String() = %q", int(ct), ct.String())
+		}
+	}
+	if !strings.Contains(ColumnType(77).String(), "77") {
+		t.Error("unknown type should render its value")
+	}
+}

@@ -1,0 +1,109 @@
+package catalog
+
+import "fmt"
+
+// CRM builds a synthetic 500+-table schema standing in for the paper's
+// real-life CRM database (~0.7 GB, a trace workload of ~6K statements with
+// more than 120 distinct templates). A handful of hot entity tables carry
+// most of the data and workload; several hundred satellite tables round out
+// the catalog the way production CRM schemas do (audit, config, lookup and
+// extension tables).
+//
+// Every table t<k> uses the column prefix "t<k>f" so unqualified column
+// names resolve uniquely; the hot tables use readable prefixes instead.
+func CRM() *Catalog {
+	var tables []*Table
+
+	hot := func(name, prefix string, rows int, extraCols int, theta float64) *Table {
+		cols := []Column{
+			{Name: prefix + "_id", Type: TypeInt, Distinct: rows, Width: 4},
+			{Name: prefix + "_owner", Type: TypeInt, Distinct: 500, Width: 4, Skew: theta},
+			{Name: prefix + "_status", Type: TypeString, Distinct: 8, Width: 12, Skew: theta},
+			{Name: prefix + "_created", Type: TypeDate, Distinct: 1_800, Width: 4, Skew: theta},
+			{Name: prefix + "_modified", Type: TypeDate, Distinct: 1_800, Width: 4, Skew: theta},
+			{Name: prefix + "_value", Type: TypeFloat, Distinct: max(rows/10, 100), Width: 8, Skew: theta},
+			{Name: prefix + "_region", Type: TypeInt, Distinct: 40, Width: 4, Skew: theta},
+			{Name: prefix + "_name", Type: TypeString, Distinct: rows, Width: 40},
+		}
+		for i := 0; i < extraCols; i++ {
+			cols = append(cols, Column{
+				Name:     fmt.Sprintf("%s_attr%02d", prefix, i),
+				Type:     TypeString,
+				Distinct: 50 + i*20,
+				Width:    20,
+				Skew:     theta,
+			})
+		}
+		return NewTable(name, rows, cols)
+	}
+
+	const theta = 0.8
+	tables = append(tables,
+		hot("crm_customer", "cust", 400_000, 6, theta),
+		hot("crm_contact", "cont", 900_000, 4, theta),
+		hot("crm_account", "acct", 120_000, 6, theta),
+		hot("crm_opportunity", "opp", 250_000, 5, theta),
+		hot("crm_ticket", "tkt", 700_000, 4, theta),
+		hot("crm_activity", "act", 1_500_000, 3, theta),
+		hot("crm_order", "ord", 350_000, 5, theta),
+		hot("crm_orderline", "ol", 1_200_000, 3, theta),
+		hot("crm_product", "prod", 60_000, 8, theta),
+		hot("crm_employee", "emp", 5_000, 6, theta),
+	)
+
+	// Link columns join the hot tables to each other; they keep each
+	// table's unique prefix so unqualified resolution still works.
+	link := func(tbl, col string, distinct int) {
+		for _, cand := range tables {
+			if cand.Name == tbl {
+				c := Column{Name: col, Type: TypeInt, Distinct: distinct, Width: 4, Skew: theta}
+				cand.Columns = append(cand.Columns, c)
+				cand.byName[col] = len(cand.Columns) - 1
+				return
+			}
+		}
+		panic("catalog: link target missing " + tbl)
+	}
+	link("crm_contact", "cont_custid", 400_000)
+	link("crm_account", "acct_custid", 400_000)
+	link("crm_opportunity", "opp_acctid", 120_000)
+	link("crm_opportunity", "opp_empid", 5_000)
+	link("crm_ticket", "tkt_custid", 400_000)
+	link("crm_ticket", "tkt_empid", 5_000)
+	link("crm_activity", "act_custid", 400_000)
+	link("crm_activity", "act_empid", 5_000)
+	link("crm_order", "ord_custid", 400_000)
+	link("crm_orderline", "ol_ordid", 350_000)
+	link("crm_orderline", "ol_prodid", 60_000)
+
+	// Satellite tables: lookups, audit shards, per-module extension tables.
+	for k := 0; k < 495; k++ {
+		prefix := fmt.Sprintf("t%03df", k)
+		rows := 200 + (k%37)*900 + (k%11)*50
+		cols := []Column{
+			{Name: prefix + "id", Type: TypeInt, Distinct: rows, Width: 4},
+			{Name: prefix + "key", Type: TypeInt, Distinct: max(rows/4, 10), Width: 4, Skew: theta},
+			{Name: prefix + "label", Type: TypeString, Distinct: max(rows/2, 10), Width: 30},
+			{Name: prefix + "ts", Type: TypeDate, Distinct: 1_200, Width: 4, Skew: theta},
+			{Name: prefix + "num", Type: TypeFloat, Distinct: max(rows/3, 10), Width: 8, Skew: theta},
+		}
+		tables = append(tables, NewTable(fmt.Sprintf("aux%03d", k), rows, cols))
+	}
+
+	return New(tables...)
+}
+
+// CRMForeignKeys lists join edges among the hot CRM tables.
+var CRMForeignKeys = [][4]string{
+	{"crm_contact", "cont_custid", "crm_customer", "cust_id"},
+	{"crm_account", "acct_custid", "crm_customer", "cust_id"},
+	{"crm_opportunity", "opp_acctid", "crm_account", "acct_id"},
+	{"crm_opportunity", "opp_empid", "crm_employee", "emp_id"},
+	{"crm_ticket", "tkt_custid", "crm_customer", "cust_id"},
+	{"crm_ticket", "tkt_empid", "crm_employee", "emp_id"},
+	{"crm_activity", "act_custid", "crm_customer", "cust_id"},
+	{"crm_activity", "act_empid", "crm_employee", "emp_id"},
+	{"crm_order", "ord_custid", "crm_customer", "cust_id"},
+	{"crm_orderline", "ol_ordid", "crm_order", "ord_id"},
+	{"crm_orderline", "ol_prodid", "crm_product", "prod_id"},
+}

@@ -1,0 +1,259 @@
+// Package core assembles the paper's primary contribution into the
+// user-facing comparison primitive: given a workload, a set of candidate
+// physical design configurations, a target probability α and a sensitivity
+// δ, Select returns the configuration with the lowest optimizer-estimated
+// workload cost with probability at least α, while issuing as few what-if
+// optimizer calls as it can (Algorithm 1, with the Section 7.2 protocol:
+// Delta Sampling, progressive stratification, a Pr(CS) stability window and
+// configuration elimination). A conservative mode implements Section 6:
+// cost-interval bounds make the variance estimate an upper bound and
+// enforce the modified Cochran rule before the CLT is trusted.
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"physdes/internal/bounds"
+	"physdes/internal/optimizer"
+	"physdes/internal/physical"
+	"physdes/internal/sampling"
+	"physdes/internal/stats"
+	"physdes/internal/workload"
+)
+
+// Options configures the comparison primitive. The zero value plus a Seed
+// reproduces the paper's Section 7.2 protocol.
+type Options struct {
+	// Alpha is the target probability of correct selection (default 0.9).
+	Alpha float64
+	// Delta is the cost sensitivity δ (default 0: detect any difference).
+	Delta float64
+	// Scheme selects the sampling scheme (default Delta Sampling).
+	Scheme sampling.Scheme
+	// Strat selects stratification (default Progressive).
+	Strat sampling.StratMode
+	// StabilityWindow guards against Pr(CS) oscillation (default 10, as in
+	// Section 7.2).
+	StabilityWindow int
+	// EliminationThreshold drops clearly inferior configurations
+	// (default 0.995; set negative to disable).
+	EliminationThreshold float64
+	// NMin is the per-stratum pilot size (default 30).
+	NMin int
+	// MaxCalls, when positive, caps optimizer calls (fixed-budget mode).
+	MaxCalls int64
+	// Seed drives all randomness.
+	Seed uint64
+	// Conservative enables Section 6: per-query cost bounds are derived
+	// (extra optimizer calls), the variance estimates are replaced by the
+	// σ²_max upper bound when larger, and termination additionally waits
+	// for the modified Cochran sample size.
+	Conservative bool
+	// OverheadAware enables Section 5.2's non-constant optimization
+	// times: sample allocation maximizes variance reduction per unit of
+	// estimated optimization overhead (multi-join statements cost more to
+	// optimize than point lookups).
+	OverheadAware bool
+	// Rho is the DP granularity for conservative mode (default 1.0 cost
+	// units).
+	Rho float64
+}
+
+func (o Options) withDefaults() Options {
+	if o.Alpha == 0 {
+		o.Alpha = 0.9
+	}
+	if o.StabilityWindow == 0 {
+		o.StabilityWindow = 10
+	}
+	if o.EliminationThreshold == 0 {
+		o.EliminationThreshold = 0.995
+	}
+	if o.EliminationThreshold < 0 {
+		o.EliminationThreshold = 0
+	}
+	if o.NMin == 0 {
+		o.NMin = stats.NMin
+	}
+	if o.Rho == 0 {
+		o.Rho = 1
+	}
+	// Scheme and Strat keep their zero values (Independent, NoStrat) when
+	// set explicitly; DefaultOptions selects the paper's best performers
+	// (Delta + Progressive).
+	return o
+}
+
+// Selection reports the primitive's decision and its cost accounting.
+type Selection struct {
+	// Best is the selected configuration.
+	Best *physical.Configuration
+	// BestIndex is its index in the input slice.
+	BestIndex int
+	// PrCS is the estimated probability of correct selection.
+	PrCS float64
+	// SampledQueries is the number of distinct workload statements
+	// evaluated.
+	SampledQueries int
+	// OptimizerCalls is the total number of what-if calls used, including
+	// bound derivation in conservative mode.
+	OptimizerCalls int64
+	// ExhaustiveCalls is what the straightforward approach would have
+	// spent: N·k.
+	ExhaustiveCalls int64
+	// Eliminated flags configurations dropped early.
+	Eliminated []bool
+	// Strata and Splits describe the final stratification.
+	Strata, Splits int
+	// CLTMinSamples is the Equation 9 requirement enforced in
+	// conservative mode (0 otherwise).
+	CLTMinSamples int
+	// VarianceBound is the σ²_max upper bound applied in conservative
+	// mode (0 otherwise).
+	VarianceBound float64
+	// PrCSTrace, when tracing, holds the Pr(CS) evolution.
+	PrCSTrace []float64
+}
+
+// Savings returns the fraction of exhaustive optimizer calls avoided.
+func (s *Selection) Savings() float64 {
+	if s.ExhaustiveCalls == 0 {
+		return 0
+	}
+	saved := 1 - float64(s.OptimizerCalls)/float64(s.ExhaustiveCalls)
+	if saved < 0 {
+		return 0
+	}
+	return saved
+}
+
+// DefaultOptions returns the Section 7.2 protocol: Delta Sampling with
+// progressive stratification, α=0.9, δ=0, stability window 10, elimination
+// at 0.995.
+func DefaultOptions(seed uint64) Options {
+	return Options{
+		Scheme: sampling.Delta,
+		Strat:  sampling.Progressive,
+		Seed:   seed,
+	}.withDefaults()
+}
+
+// Select runs the comparison primitive over the workload and candidate
+// configurations.
+func Select(opt *optimizer.Optimizer, w *workload.Workload, configs []*physical.Configuration, o Options) (*Selection, error) {
+	return doSelect(opt, w, configs, o, false)
+}
+
+// SelectTraced is Select with a Pr(CS) trace.
+func SelectTraced(opt *optimizer.Optimizer, w *workload.Workload, configs []*physical.Configuration, o Options) (*Selection, error) {
+	return doSelect(opt, w, configs, o, true)
+}
+
+func doSelect(opt *optimizer.Optimizer, w *workload.Workload, configs []*physical.Configuration, o Options, trace bool) (*Selection, error) {
+	o = o.withDefaults()
+	if w == nil || w.Size() == 0 {
+		return nil, errors.New("core: empty workload")
+	}
+	if len(configs) < 2 {
+		return nil, errors.New("core: need at least two configurations")
+	}
+	// Account calls from zero for this selection.
+	opt.ResetCalls()
+
+	oracle := sampling.NewLiveOracle(opt, w, configs)
+	sOpts := sampling.Options{
+		Scheme:               o.Scheme,
+		Strat:                o.Strat,
+		Alpha:                o.Alpha,
+		Delta:                o.Delta,
+		NMin:                 o.NMin,
+		StabilityWindow:      o.StabilityWindow,
+		EliminationThreshold: o.EliminationThreshold,
+		MaxCalls:             o.MaxCalls,
+		RNG:                  stats.NewRNG(o.Seed),
+		TemplateIndex:        w.TemplateIndexOf(),
+		TemplateCount:        w.NumTemplates(),
+	}
+
+	sel := &Selection{ExhaustiveCalls: int64(w.Size()) * int64(len(configs))}
+
+	if o.OverheadAware {
+		sOpts.CallCost = func(q int) float64 {
+			return opt.OptimizeOverhead(w.Queries[q].Analysis)
+		}
+	}
+
+	if o.Conservative {
+		if err := applyConservative(opt, w, configs, o, &sOpts, sel); err != nil {
+			return nil, err
+		}
+	}
+
+	var res *sampling.Result
+	var err error
+	if trace {
+		res, err = sampling.RunTraced(oracle, sOpts)
+	} else {
+		res, err = sampling.Run(oracle, sOpts)
+	}
+	if err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
+
+	sel.Best = configs[res.Best]
+	sel.BestIndex = res.Best
+	sel.PrCS = res.PrCS
+	sel.SampledQueries = res.SampledQueries
+	sel.OptimizerCalls = res.OptimizerCalls
+	sel.Eliminated = res.Eliminated
+	sel.Strata = res.Strata
+	sel.Splits = res.Splits
+	sel.PrCSTrace = res.PrCSTrace
+	return sel, nil
+}
+
+// applyConservative derives Section 6 bounds and wires them into the
+// sampling options: the σ²_max upper bound replaces smaller sample
+// variances, and Equation 9's sample-size floor gates termination.
+func applyConservative(opt *optimizer.Optimizer, w *workload.Workload, configs []*physical.Configuration, o Options, sOpts *sampling.Options, sel *Selection) error {
+	d := bounds.NewDeriver(opt, configs...)
+	ivs := d.WorkloadIntervals(w)
+
+	// Delta Sampling estimates cost differences; Independent Sampling
+	// estimates costs. Bound the matching distribution.
+	var target []bounds.Interval
+	if o.Scheme == sampling.Delta {
+		target = bounds.DiffIntervals(ivs, ivs)
+	} else {
+		target = ivs
+	}
+	vres, err := bounds.SigmaMaxDP(target, o.Rho)
+	if err != nil {
+		// Too fine a grid for the interval spread: fall back to the
+		// threshold vertex search (a lower bound on σ²_max, still far
+		// above typical sample variances) rather than failing the run.
+		sel.VarianceBound = bounds.SigmaMaxThreshold(target)
+	} else {
+		sel.VarianceBound = vres.UpperBound
+	}
+	cltMin, err := bounds.CLTMinSamples(ivs, o.Rho)
+	if err != nil {
+		return fmt.Errorf("core: conservative bounds: %w", err)
+	}
+	sel.CLTMinSamples = cltMin
+	sel.OptimizerCalls = opt.Calls() // bound-derivation calls so far
+
+	bound := sel.VarianceBound
+	sOpts.VarianceBound = func(pair [2]int, n int) (float64, bool) {
+		// The bound applies while the sample is small; once the sample
+		// clearly dominates the CLT floor the sample variance is trusted
+		// (the bound is loose by construction).
+		if n >= 4*cltMin {
+			return 0, false
+		}
+		return bound, true
+	}
+	sOpts.MinSamples = cltMin
+	return nil
+}

@@ -1,0 +1,132 @@
+package experiments
+
+import (
+	"encoding/csv"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+)
+
+// WriteSeriesCSV writes one figure's Monte-Carlo curves as a CSV file
+// (calls column plus one true-Pr(CS) column per scheme), suitable for
+// gnuplot/matplotlib regeneration of the paper's figures.
+func WriteSeriesCSV(dir, name string, series []MCSeries) error {
+	f, err := createCSV(dir, name)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	w := csv.NewWriter(f)
+	header := []string{"calls"}
+	for _, s := range series {
+		header = append(header, s.Variant.Name)
+	}
+	if err := w.Write(header); err != nil {
+		return err
+	}
+	if len(series) > 0 {
+		for pi := range series[0].Points {
+			row := []string{strconv.FormatInt(series[0].Points[pi].Budget, 10)}
+			for _, s := range series {
+				row = append(row, formatF(s.Points[pi].TruePrCS))
+			}
+			if err := w.Write(row); err != nil {
+				return err
+			}
+		}
+	}
+	w.Flush()
+	return w.Error()
+}
+
+// WriteMultiCSV writes a Table 2/3 result as CSV rows
+// (method,k,true_prcs,max_delta,avg_calls).
+func WriteMultiCSV(dir, name string, rows []MultiRow) error {
+	f, err := createCSV(dir, name)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	w := csv.NewWriter(f)
+	if err := w.Write([]string{"method", "k", "true_prcs", "max_delta", "avg_calls"}); err != nil {
+		return err
+	}
+	for _, r := range rows {
+		if err := w.Write([]string{
+			r.Method.String(),
+			strconv.Itoa(r.K),
+			formatF(r.TruePrCS),
+			formatF(r.MaxDelta),
+			formatF(r.AvgCalls),
+		}); err != nil {
+			return err
+		}
+	}
+	w.Flush()
+	return w.Error()
+}
+
+// WriteSigmaCSV writes Table 1 as CSV (n,rho,seconds,sigma2,theta,cells).
+func WriteSigmaCSV(dir, name string, rows []SigmaRow) error {
+	f, err := createCSV(dir, name)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	w := csv.NewWriter(f)
+	if err := w.Write([]string{"n", "rho", "seconds", "sigma2", "theta", "cells"}); err != nil {
+		return err
+	}
+	for _, r := range rows {
+		if err := w.Write([]string{
+			strconv.Itoa(r.N),
+			formatF(r.Rho),
+			formatF(r.Elapsed.Seconds()),
+			formatF(r.Sigma2),
+			formatF(r.Theta),
+			strconv.Itoa(r.Cells),
+		}); err != nil {
+			return err
+		}
+	}
+	w.Flush()
+	return w.Error()
+}
+
+// WriteScalingCSV writes the scaling sweep as CSV.
+func WriteScalingCSV(dir, name string, rows []ScalingRow) error {
+	f, err := createCSV(dir, name)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	w := csv.NewWriter(f)
+	if err := w.Write([]string{"n", "avg_calls", "exhaustive", "fraction", "true_prcs"}); err != nil {
+		return err
+	}
+	for _, r := range rows {
+		if err := w.Write([]string{
+			strconv.Itoa(r.N),
+			formatF(r.AvgCalls),
+			strconv.FormatInt(r.ExhaustiveCall, 10),
+			formatF(r.Fraction),
+			formatF(r.TruePrCS),
+		}); err != nil {
+			return err
+		}
+	}
+	w.Flush()
+	return w.Error()
+}
+
+func createCSV(dir, name string) (*os.File, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("experiments: csv dir: %w", err)
+	}
+	return os.Create(filepath.Join(dir, name+".csv"))
+}
+
+func formatF(v float64) string {
+	return strconv.FormatFloat(v, 'g', 8, 64)
+}

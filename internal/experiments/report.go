@@ -1,0 +1,129 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"text/tabwriter"
+	"time"
+)
+
+// PrintSeries renders Monte-Carlo Pr(CS) curves as the paper's figures do:
+// one row per call budget, one column per scheme.
+func PrintSeries(out io.Writer, title string, series []MCSeries) {
+	fmt.Fprintf(out, "%s\n", title)
+	tw := tabwriter.NewWriter(out, 4, 4, 2, ' ', 0)
+	fmt.Fprintf(tw, "calls")
+	for _, s := range series {
+		fmt.Fprintf(tw, "\t%s", s.Variant.Name)
+	}
+	fmt.Fprintln(tw)
+	if len(series) > 0 {
+		for pi := range series[0].Points {
+			fmt.Fprintf(tw, "%d", series[0].Points[pi].Budget)
+			for _, s := range series {
+				fmt.Fprintf(tw, "\t%.3f", s.Points[pi].TruePrCS)
+			}
+			fmt.Fprintln(tw)
+		}
+	}
+	tw.Flush()
+}
+
+// PrintMultiRows renders Table 2/3 in the paper's layout.
+func PrintMultiRows(out io.Writer, title string, rows []MultiRow, ks []int) {
+	fmt.Fprintf(out, "%s\n", title)
+	tw := tabwriter.NewWriter(out, 4, 4, 2, ' ', 0)
+	fmt.Fprintf(tw, "Method\t")
+	for _, k := range ks {
+		fmt.Fprintf(tw, "\tk=%d", k)
+	}
+	fmt.Fprintln(tw)
+	methods := []MultiMethod{MethodPrimitive, MethodNoStrat, MethodEqualAlloc, MethodConservative}
+	for _, m := range methods {
+		fmt.Fprintf(tw, "%s\tTrue Pr(CS)", m)
+		for _, k := range ks {
+			if row, ok := findRow(rows, m, k); ok {
+				fmt.Fprintf(tw, "\t%.1f%%", 100*row.TruePrCS)
+			} else {
+				fmt.Fprintf(tw, "\t-")
+			}
+		}
+		fmt.Fprintln(tw)
+		fmt.Fprintf(tw, "\tMax. Δ")
+		for _, k := range ks {
+			if row, ok := findRow(rows, m, k); ok {
+				fmt.Fprintf(tw, "\t%.1f%%", 100*row.MaxDelta)
+			} else {
+				fmt.Fprintf(tw, "\t-")
+			}
+		}
+		fmt.Fprintln(tw)
+		fmt.Fprintf(tw, "\tavg calls")
+		for _, k := range ks {
+			if row, ok := findRow(rows, m, k); ok {
+				fmt.Fprintf(tw, "\t%.0f", row.AvgCalls)
+			} else {
+				fmt.Fprintf(tw, "\t-")
+			}
+		}
+		fmt.Fprintln(tw)
+	}
+	tw.Flush()
+}
+
+func findRow(rows []MultiRow, m MultiMethod, k int) (MultiRow, bool) {
+	for _, r := range rows {
+		if r.Method == m && r.K == k {
+			return r, true
+		}
+	}
+	return MultiRow{}, false
+}
+
+// PrintSigmaRows renders Table 1.
+func PrintSigmaRows(out io.Writer, rows []SigmaRow) {
+	fmt.Fprintln(out, "Table 1: Overhead of approximating σ²_max")
+	tw := tabwriter.NewWriter(out, 4, 4, 2, ' ', 0)
+	fmt.Fprintf(tw, "N\tρ\ttime\tσ̂²_max\tθ\tDP cells\n")
+	for _, r := range rows {
+		fmt.Fprintf(tw, "%d\t%g\t%v\t%.4g\t%.4g\t%d\n",
+			r.N, r.Rho, r.Elapsed.Round(roundUnit(r.Elapsed)), r.Sigma2, r.Theta, r.Cells)
+	}
+	tw.Flush()
+}
+
+// roundUnit picks a display rounding: 10ms above a second, 100µs above a
+// millisecond, else 1µs.
+func roundUnit(d time.Duration) time.Duration {
+	switch {
+	case d > time.Second:
+		return 10 * time.Millisecond
+	case d > time.Millisecond:
+		return 100 * time.Microsecond
+	default:
+		return time.Microsecond
+	}
+}
+
+// PrintCompressionRows renders the Section 7.3 comparison.
+func PrintCompressionRows(out io.Writer, rows []CompressionRow) {
+	fmt.Fprintln(out, "Section 7.3: comparison to workload compression")
+	tw := tabwriter.NewWriter(out, 4, 4, 2, ' ', 0)
+	fmt.Fprintf(tw, "Method\tkept\ttemplates\timprovement\tdistance comps\n")
+	for _, r := range rows {
+		fmt.Fprintf(tw, "%s\t%d\t%d\t%.1f%%\t%d\n",
+			r.Method, r.KeptQueries, r.TemplateCoverage, 100*r.Improvement, r.DistanceComputations)
+	}
+	tw.Flush()
+}
+
+// PrintCLTRows renders the Section 6 sample-size requirements.
+func PrintCLTRows(out io.Writer, rows []CLTRow) {
+	fmt.Fprintln(out, "Section 6: CLT sample-size requirements (Equation 9)")
+	tw := tabwriter.NewWriter(out, 4, 4, 2, ' ', 0)
+	fmt.Fprintf(tw, "N\tG1_max\tmin samples\tfraction\n")
+	for _, r := range rows {
+		fmt.Fprintf(tw, "%d\t%.2f\t%d\t%.2f%%\n", r.N, r.G1Max, r.MinSamples, 100*r.Fraction)
+	}
+	tw.Flush()
+}

@@ -1,0 +1,102 @@
+package experiments
+
+import (
+	"physdes/internal/compress"
+	"physdes/internal/physical"
+	"physdes/internal/stats"
+	"physdes/internal/tuner"
+)
+
+// CompressionRow is one line of the Section 7.3 comparison: how well a
+// configuration tuned on the (compressed/sampled) workload performs on the
+// full workload, plus the preprocessing effort.
+type CompressionRow struct {
+	Method string
+	// KeptQueries is the compressed workload size.
+	KeptQueries int
+	// TemplateCoverage counts distinct templates retained.
+	TemplateCoverage int
+	// Improvement is the relative full-workload cost reduction of the
+	// configuration tuned on the compressed workload.
+	Improvement float64
+	// DistanceComputations is [5]'s preprocessing cost (0 for others).
+	DistanceComputations int
+}
+
+// CompressionComparison reproduces Section 7.3 on a TPC-D workload
+// (the paper uses 2K queries, X=20%):
+//
+//   - [20]-style top-cost compression at X=20%,
+//   - the average of tuning several random samples of the same size
+//     (the paper tunes 5; their improvement was "more than twice" [20]'s),
+//   - [5]-style clustering compression of the same size,
+//   - a Delta-sample of the same size (the paper's approach; comparable
+//     in quality to [5] without the O(N²) preprocessing).
+func CompressionComparison(s *Scenario, p Params) ([]CompressionRow, error) {
+	p = p.withDefaults()
+	w := s.W
+	if w.Size() > 2000 {
+		w = subsample(w, 2000, p.Seed+41)
+	}
+	candidates := physical.IndexesOnly(s.Candidates)
+
+	empty := physical.NewConfiguration("empty")
+	costs := make([]float64, w.Size())
+	for i, q := range w.Queries {
+		costs[i] = s.Opt.Cost(q.Analysis, empty)
+	}
+
+	tune := func(c *compress.Compressed) float64 {
+		sub := w.Subset(c.IDs)
+		res := tuner.Greedy(s.Opt, s.Cat, sub, c.Weights, candidates,
+			tuner.Options{MaxStructures: 6})
+		return tuner.EvaluateOn(s.Opt, w, res.Config)
+	}
+
+	var rows []CompressionRow
+
+	top := compress.TopCost(w, costs, 0.2)
+	rows = append(rows, CompressionRow{
+		Method:           "TopCost[20] X=20%",
+		KeptQueries:      top.Size(),
+		TemplateCoverage: top.TemplateCoverage(w),
+		Improvement:      tune(top),
+	})
+
+	const samples = 5
+	var avg float64
+	var cov int
+	for r := 0; r < samples; r++ {
+		perm := stats.NewRNG(p.Seed + uint64(r)*97).Perm(w.Size())
+		samp := compress.RandomSample(w, top.Size(), perm)
+		avg += tune(samp)
+		cov += samp.TemplateCoverage(w)
+	}
+	rows = append(rows, CompressionRow{
+		Method:           "Random samples (avg of 5)",
+		KeptQueries:      top.Size(),
+		TemplateCoverage: cov / samples,
+		Improvement:      avg / samples,
+	})
+
+	cl := compress.Cluster(w, costs, top.Size())
+	rows = append(rows, CompressionRow{
+		Method:               "Cluster[5]",
+		KeptQueries:          cl.Size(),
+		TemplateCoverage:     cl.TemplateCoverage(w),
+		Improvement:          tune(cl),
+		DistanceComputations: cl.DistanceComputations,
+	})
+
+	// A Delta-sample of the same size: uniform sample, weight N/n — what
+	// the paper's primitive would have evaluated.
+	perm := stats.NewRNG(p.Seed + 1009).Perm(w.Size())
+	ds := compress.RandomSample(w, top.Size(), perm)
+	rows = append(rows, CompressionRow{
+		Method:           "Delta-sample (paper)",
+		KeptQueries:      ds.Size(),
+		TemplateCoverage: ds.TemplateCoverage(w),
+		Improvement:      tune(ds),
+	})
+	return rows, nil
+}

@@ -1,0 +1,114 @@
+package optimizer
+
+import (
+	"testing"
+
+	"physdes/internal/physical"
+	"physdes/internal/sqlparse"
+)
+
+// aggViewFor builds the aggregate view EnumerateCandidates would derive
+// for a single analyzed query.
+func aggViewFor(t *testing.T, a *sqlparse.Analysis) *physical.View {
+	t.Helper()
+	cands := physical.EnumerateCandidates(testCat, []*sqlparse.Analysis{a},
+		physical.CandidateOptions{Views: true})
+	for _, c := range cands {
+		if v, ok := c.(*physical.View); ok && len(v.GroupBy) > 0 {
+			return v
+		}
+	}
+	t.Fatal("no aggregate view enumerated")
+	return nil
+}
+
+func TestAggregateViewAnswersGroupBy(t *testing.T) {
+	o := New(testCat)
+	a := analyze(t, "SELECT l_returnflag, l_linestatus, SUM(l_quantity), SUM(l_extendedprice) "+
+		"FROM lineitem WHERE l_shipdate <= 300 GROUP BY l_returnflag, l_linestatus "+
+		"ORDER BY l_returnflag, l_linestatus")
+	v := aggViewFor(t, a)
+	// Dimensions must include the grouping columns and the predicate column.
+	wantDims := map[string]bool{"l_returnflag": true, "l_linestatus": true, "l_shipdate": true}
+	if len(v.GroupBy) != len(wantDims) {
+		t.Fatalf("dims = %+v", v.GroupBy)
+	}
+	for _, g := range v.GroupBy {
+		if !wantDims[g.Column] {
+			t.Errorf("unexpected dimension %s", g.Column)
+		}
+	}
+
+	without := o.Cost(a, physical.NewConfiguration("empty"))
+	with := o.Cost(a, physical.NewConfiguration("agg", v))
+	if with >= without {
+		t.Fatalf("aggregate view did not help: %v vs %v", with, without)
+	}
+	// It should help enormously: the view holds ~15K pre-aggregated rows
+	// instead of a 60K-row scan plus aggregation.
+	if with > without/2 {
+		t.Errorf("aggregate view speedup too small: %v vs %v", with, without)
+	}
+	// Explain must show the ViewScan.
+	plan := o.Explain(a, physical.NewConfiguration("agg", v))
+	if !planContainsOp(plan.Root, "ViewScan") {
+		t.Errorf("plan missing ViewScan:\n%s", plan)
+	}
+}
+
+func TestAggregateViewRejectsUncoveredPredicate(t *testing.T) {
+	o := New(testCat)
+	a := analyze(t, "SELECT l_returnflag, SUM(l_quantity) FROM lineitem "+
+		"WHERE l_shipdate <= 300 GROUP BY l_returnflag")
+	// A view lacking the predicate dimension cannot answer the query.
+	v := physical.NewView([]string{"lineitem"}, nil,
+		[]sqlparse.TableColumn{
+			{Table: "lineitem", Column: "l_quantity"},
+			{Table: "lineitem", Column: "l_returnflag"},
+		},
+		[]sqlparse.TableColumn{{Table: "lineitem", Column: "l_returnflag"}})
+	without := o.Cost(a, physical.NewConfiguration("empty"))
+	with := o.Cost(a, physical.NewConfiguration("agg", v))
+	if with != without {
+		t.Errorf("uncovered aggregate view changed the cost: %v vs %v", with, without)
+	}
+}
+
+func TestAggregateViewRejectsNonGroupedQuery(t *testing.T) {
+	o := New(testCat)
+	grouped := analyze(t, "SELECT l_returnflag, SUM(l_quantity) FROM lineitem "+
+		"WHERE l_shipdate <= 300 GROUP BY l_returnflag")
+	v := aggViewFor(t, grouped)
+	// A plain (non-grouped) query over the same table must not use it.
+	plain := analyze(t, "SELECT l_quantity FROM lineitem WHERE l_shipdate <= 300")
+	without := o.Cost(plain, physical.NewConfiguration("empty"))
+	with := o.Cost(plain, physical.NewConfiguration("agg", v))
+	if with != without {
+		t.Errorf("aggregate view leaked into a non-grouped query: %v vs %v", with, without)
+	}
+}
+
+func TestAggregateViewJoinQuery(t *testing.T) {
+	o := New(testCat)
+	a := analyze(t, "SELECT o_orderpriority, COUNT(*) FROM orders "+
+		"WHERE o_orderdate BETWEEN 100 AND 190 GROUP BY o_orderpriority ORDER BY o_orderpriority")
+	v := aggViewFor(t, a)
+	without := o.Cost(a, physical.NewConfiguration("empty"))
+	with := o.Cost(a, physical.NewConfiguration("agg", v))
+	if with >= without {
+		t.Errorf("aggregate view on orders did not help: %v vs %v", with, without)
+	}
+}
+
+func TestAggregateViewMaintenanceCharged(t *testing.T) {
+	o := New(testCat)
+	grouped := analyze(t, "SELECT l_returnflag, SUM(l_quantity) FROM lineitem "+
+		"WHERE l_shipdate <= 300 GROUP BY l_returnflag")
+	v := aggViewFor(t, grouped)
+	ins := analyze(t, "INSERT INTO lineitem (l_orderkey, l_quantity) VALUES (1, 2)")
+	empty := o.Cost(ins, physical.NewConfiguration("empty"))
+	with := o.Cost(ins, physical.NewConfiguration("agg", v))
+	if with <= empty {
+		t.Errorf("aggregate view maintenance not charged: %v vs %v", with, empty)
+	}
+}

@@ -1,0 +1,83 @@
+package optimizer
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"physdes/internal/physical"
+	"physdes/internal/sqlparse"
+)
+
+// Cached memoizes what-if calls per (statement, configuration) pair.
+// Tuning tools layer exactly this over the what-if API: a greedy search
+// re-evaluates the same statement under overlapping configurations, and
+// only cache misses pay the optimization cost. Hits are NOT charged to the
+// underlying optimizer's call counter, so the savings are visible in the
+// same accounting the paper uses.
+//
+// Keys combine the statement's pointer identity with the configuration
+// fingerprint: analyses are immutable once built by the workload package,
+// so pointer identity is a sound statement key within one process.
+type Cached struct {
+	inner *Optimizer
+
+	mu    sync.RWMutex
+	table map[cacheKey]float64
+
+	hits   atomic.Int64
+	misses atomic.Int64
+}
+
+type cacheKey struct {
+	a   *sqlparse.Analysis
+	cfg string
+}
+
+// NewCached wraps an optimizer with a memo table.
+func NewCached(inner *Optimizer) *Cached {
+	return &Cached{inner: inner, table: make(map[cacheKey]float64)}
+}
+
+// Cost returns the memoized cost, consulting the underlying optimizer on a
+// miss.
+func (c *Cached) Cost(a *sqlparse.Analysis, cfg *physical.Configuration) float64 {
+	key := cacheKey{a: a, cfg: cfg.Fingerprint()}
+	c.mu.RLock()
+	v, ok := c.table[key]
+	c.mu.RUnlock()
+	if ok {
+		c.hits.Add(1)
+		return v
+	}
+	c.misses.Add(1)
+	v = c.inner.Cost(a, cfg)
+	c.mu.Lock()
+	c.table[key] = v
+	c.mu.Unlock()
+	return v
+}
+
+// Hits returns the number of calls served from the memo table.
+func (c *Cached) Hits() int64 { return c.hits.Load() }
+
+// Misses returns the number of calls forwarded to the optimizer.
+func (c *Cached) Misses() int64 { return c.misses.Load() }
+
+// Entries returns the memo table size.
+func (c *Cached) Entries() int {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return len(c.table)
+}
+
+// Inner returns the wrapped optimizer (for call accounting).
+func (c *Cached) Inner() *Optimizer { return c.inner }
+
+// Reset clears the memo table and counters.
+func (c *Cached) Reset() {
+	c.mu.Lock()
+	c.table = make(map[cacheKey]float64)
+	c.mu.Unlock()
+	c.hits.Store(0)
+	c.misses.Store(0)
+}

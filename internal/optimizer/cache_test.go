@@ -1,0 +1,70 @@
+package optimizer
+
+import (
+	"sync"
+	"testing"
+
+	"physdes/internal/physical"
+)
+
+func TestCachedOptimizer(t *testing.T) {
+	inner := New(testCat)
+	c := NewCached(inner)
+	a := analyze(t, "SELECT l_quantity FROM lineitem WHERE l_orderkey = 5")
+	cfg := physical.NewConfiguration("ix", physical.NewIndex("lineitem", []string{"l_orderkey"}))
+
+	v1 := c.Cost(a, cfg)
+	v2 := c.Cost(a, cfg)
+	if v1 != v2 {
+		t.Fatal("cache returned different values")
+	}
+	if c.Hits() != 1 || c.Misses() != 1 {
+		t.Errorf("hits/misses = %d/%d", c.Hits(), c.Misses())
+	}
+	// Only the miss reached the optimizer.
+	if inner.Calls() != 1 {
+		t.Errorf("inner calls = %d, want 1", inner.Calls())
+	}
+	// Different configuration: miss.
+	c.Cost(a, physical.NewConfiguration("empty"))
+	if c.Misses() != 2 || c.Entries() != 2 {
+		t.Errorf("misses=%d entries=%d", c.Misses(), c.Entries())
+	}
+	// Same statement text but a different Analysis value: statement keys
+	// are pointer identities, so this is a (sound, conservative) miss.
+	a2 := analyze(t, "SELECT l_quantity FROM lineitem WHERE l_orderkey = 5")
+	c.Cost(a2, cfg)
+	if c.Misses() != 3 {
+		t.Errorf("misses = %d, want 3", c.Misses())
+	}
+	if c.Inner() != inner {
+		t.Error("Inner accessor broken")
+	}
+	c.Reset()
+	if c.Hits() != 0 || c.Misses() != 0 || c.Entries() != 0 {
+		t.Error("Reset incomplete")
+	}
+}
+
+func TestCachedOptimizerConcurrent(t *testing.T) {
+	c := NewCached(New(testCat))
+	a := analyze(t, "SELECT l_quantity FROM lineitem WHERE l_shipdate < 100")
+	cfg := physical.NewConfiguration("empty")
+	want := c.Cost(a, cfg)
+	var wg sync.WaitGroup
+	errs := make(chan float64, 64)
+	for i := 0; i < 64; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if v := c.Cost(a, cfg); v != want {
+				errs <- v
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for v := range errs {
+		t.Errorf("concurrent read returned %v, want %v", v, want)
+	}
+}

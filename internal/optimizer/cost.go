@@ -1,0 +1,62 @@
+// Package optimizer implements a cost-based "what-if" query optimizer over
+// the simulated catalog: given a statement's analysis and a hypothetical
+// physical design configuration, it returns the optimizer-estimated cost of
+// executing the statement under that configuration.
+//
+// This substitutes for the SQL Server what-if API the paper builds on
+// (Chaudhuri & Narasayya, SIGMOD 1998). The comparison primitive only ever
+// consumes two things from it: estimated costs and the *number of optimizer
+// calls*, which is the scalability currency of the whole paper. The model
+// is deliberately well-behaved in the Section 6.1 sense: adding an index or
+// view to a configuration can only lower the estimated cost of a SELECT,
+// because plan choice is a minimum over an access-path set that only grows.
+package optimizer
+
+import "math"
+
+// Cost-model constants, in arbitrary optimizer cost units (anchored, like
+// PostgreSQL's, to the cost of sequentially reading one page = 1.0).
+const (
+	// SeqPageCost is the cost of a sequential page read.
+	SeqPageCost = 1.0
+	// RandPageCost is the cost of a random page read.
+	RandPageCost = 4.0
+	// CPUTupleCost is the CPU cost of processing one row.
+	CPUTupleCost = 0.01
+	// CPUOperatorCost is the CPU cost of evaluating one predicate/operator.
+	CPUOperatorCost = 0.0025
+	// CPUIndexTupleCost is the CPU cost of processing one index entry.
+	CPUIndexTupleCost = 0.005
+	// HashBuildCost is the per-row cost of building a hash table.
+	HashBuildCost = 0.015
+	// SortRowCost scales the n·log₂(n) sort term.
+	SortRowCost = 0.011
+	// WriteRowCost is the base-table cost of writing (inserting, deleting
+	// or modifying) one row.
+	WriteRowCost = 0.02
+	// IndexMaintRowCost is the cost of maintaining one secondary index for
+	// one modified row (seek + leaf write).
+	IndexMaintRowCost = 0.06
+	// ViewMaintRowFactor scales view-maintenance cost per affected base
+	// row; materialized views are substantially more expensive to maintain
+	// than indexes (join + aggregate refresh).
+	ViewMaintRowFactor = 0.25
+	// BTreeDescentCost is the fixed cost of one B-tree root-to-leaf
+	// descent.
+	BTreeDescentCost = 0.3
+)
+
+// CostBand returns the multiplicative envelope of the optimizer's
+// per-query cost variability (the deterministic path wobble): any two
+// statements of one template with identical estimated selectivities have
+// costs within a factor of Hi/Lo of each other. Bound derivation widens
+// cross-statement template bounds by this band; it must cover the wobble's
+// outlier tail.
+func CostBand() (lo, hi float64) { return 1 - wobbleAmp, wobbleTailMax }
+
+func log2(x float64) float64 {
+	if x < 2 {
+		return 1
+	}
+	return math.Log2(x)
+}

@@ -1,0 +1,521 @@
+package optimizer
+
+import (
+	"sort"
+	"strings"
+
+	"physdes/internal/catalog"
+	"physdes/internal/physical"
+	"physdes/internal/sqlparse"
+)
+
+// relation is one input to the join phase: a filtered base table, or a
+// matched materialized view standing in for several base tables. node is
+// the relation's plan fragment when explaining (nil otherwise).
+type relation struct {
+	tables   []string // base tables it covers
+	cost     float64  // cost to produce its rows
+	rows     float64
+	sortedBy []string
+	// baseTable is set for single-table relations so index nested-loop
+	// joins can seek into them.
+	baseTable string
+	node      *PlanNode
+}
+
+// costSelect estimates the cost of a SELECT under cfg.
+func (o *Optimizer) costSelect(a *sqlparse.Analysis, cfg *physical.Configuration) float64 {
+	cost, _ := o.costSelectPlan(a, cfg, false)
+	return cost
+}
+
+// costSelectPlan estimates the cost of a SELECT under cfg and, when
+// explain is set, also builds the chosen plan tree.
+func (o *Optimizer) costSelectPlan(a *sqlparse.Analysis, cfg *physical.Configuration, explain bool) (float64, *PlanNode) {
+	rels := o.buildRelations(a, cfg, explain)
+	res := o.joinRelations(a, cfg, rels)
+
+	// DISTINCT / GROUP BY / ORDER BY: one sort (or hash aggregate) pass.
+	// For a single-table ORDER BY the cheapest *ordered* access path is an
+	// alternative arm to scanning-then-sorting; taking the minimum of the
+	// two arms (rather than checking whether the overall-cheapest path
+	// happens to be ordered) keeps the optimizer well-behaved.
+	needSortCols := orderColumns(a)
+	sortNeeded := len(needSortCols) > 0 || a.Distinct || len(a.GroupBy) > 0
+	if sortNeeded {
+		n := res.rows
+		if n < 2 {
+			n = 2
+		}
+		sortCost := n * log2(n) * SortRowCost
+		eliminated := false
+		if len(rels) == 1 && rels[0].baseTable != "" && !a.Distinct &&
+			len(a.GroupBy) == 0 && len(needSortCols) > 0 {
+			ordered, ok := o.bestAccessOrdered(a, rels[0].baseTable, cfg,
+				referencedColumns(a, rels[0].baseTable), needSortCols)
+			if ok && ordered.cost < res.cost+sortCost {
+				res.cost = ordered.cost
+				eliminated = true
+				if explain {
+					res.node = &PlanNode{
+						Op: "IndexSeek", Detail: ordered.detail,
+						Cost: ordered.cost, Rows: res.rows,
+					}
+					if ordered.op != "" {
+						res.node.Op = ordered.op
+					}
+				}
+			}
+		}
+		if !eliminated {
+			res.cost += sortCost
+			if explain {
+				res.node = &PlanNode{
+					Op: "Sort", Detail: strings.Join(needSortCols, ","),
+					Cost: res.cost, Rows: res.rows,
+					Children: []*PlanNode{res.node},
+				}
+			}
+		}
+	}
+	if a.HasAggregate {
+		res.cost += res.rows * CPUOperatorCost
+		if explain {
+			res.node = &PlanNode{
+				Op: "Aggregate", Cost: res.cost, Rows: res.rows,
+				Children: []*PlanNode{res.node},
+			}
+		}
+	}
+	// Output the final rows.
+	res.cost += res.rows * CPUTupleCost
+	if explain && res.node != nil {
+		res.node.Cost = res.cost
+	}
+	return res.cost, res.node
+}
+
+// orderColumns returns the ORDER BY column names (group-by handled via
+// hash/sort separately).
+func orderColumns(a *sqlparse.Analysis) []string {
+	var out []string
+	for _, oc := range a.OrderBy {
+		out = append(out, oc.Col.Column)
+	}
+	return out
+}
+
+// buildRelations produces the join inputs, substituting matching
+// materialized views for subsets of base tables where that is cheaper.
+func (o *Optimizer) buildRelations(a *sqlparse.Analysis, cfg *physical.Configuration, explain bool) []relation {
+	remaining := make(map[string]bool, len(a.Tables))
+	for _, t := range a.Tables {
+		remaining[t] = true
+	}
+	var rels []relation
+
+	// Greedy view matching: consider views covering the most tables first.
+	views := append([]*physical.View(nil), cfg.Views()...)
+	sort.Slice(views, func(i, j int) bool {
+		if len(views[i].Tables) != len(views[j].Tables) {
+			return len(views[i].Tables) > len(views[j].Tables)
+		}
+		return views[i].ID() < views[j].ID()
+	})
+	for _, v := range views {
+		if !o.viewMatches(a, v, remaining) {
+			continue
+		}
+		rel := o.viewRelation(a, v)
+		// Only take the view when it beats producing its tables directly.
+		direct := 0.0
+		for _, t := range v.Tables {
+			direct += o.bestAccess(a, t, cfg, referencedColumns(a, t)).cost
+		}
+		if rel.cost >= direct+1e-12 {
+			continue
+		}
+		if explain {
+			rel.node = &PlanNode{Op: "ViewScan", Detail: v.ID(), Cost: rel.cost, Rows: rel.rows}
+		}
+		rels = append(rels, rel)
+		for _, t := range v.Tables {
+			delete(remaining, t)
+		}
+	}
+
+	tables := make([]string, 0, len(remaining))
+	for t := range remaining {
+		tables = append(tables, t)
+	}
+	sort.Strings(tables)
+	for _, t := range tables {
+		ap := o.bestAccess(a, t, cfg, referencedColumns(a, t))
+		rel := relation{
+			tables:    []string{t},
+			cost:      ap.cost,
+			rows:      ap.rows,
+			sortedBy:  ap.sortedBy,
+			baseTable: t,
+		}
+		if explain {
+			rel.node = &PlanNode{Op: ap.op, Detail: ap.detail, Cost: ap.cost, Rows: ap.rows}
+		}
+		rels = append(rels, rel)
+	}
+	return rels
+}
+
+// viewMatches reports whether view v can replace a subset of the query's
+// remaining tables. Plain join views match when all their tables are still
+// unclaimed, all their join edges appear in the query, and they expose
+// every column the query references on those tables. Aggregate views are
+// dispatched to aggViewMatches.
+func (o *Optimizer) viewMatches(a *sqlparse.Analysis, v *physical.View, remaining map[string]bool) bool {
+	if len(v.GroupBy) > 0 {
+		return o.aggViewMatches(a, v, remaining)
+	}
+	if len(v.Tables) < 2 {
+		return false
+	}
+	for _, t := range v.Tables {
+		if !remaining[t] {
+			return false
+		}
+	}
+	queryJoins := make(map[string]bool, len(a.Joins))
+	for _, j := range a.Joins {
+		queryJoins[j.JoinKey()] = true
+	}
+	for _, j := range v.Joins {
+		if !queryJoins[j.JoinKey()] {
+			return false
+		}
+	}
+	exposed := make(map[sqlparse.TableColumn]bool, len(v.Columns))
+	for _, c := range v.Columns {
+		exposed[c] = true
+	}
+	for _, tc := range a.Referenced {
+		if contains(v.Tables, tc.Table) && !exposed[tc] {
+			return false
+		}
+	}
+	return true
+}
+
+// aggViewMatches implements rollup matching for aggregate views: the view
+// pre-aggregates the join of its tables at GroupBy granularity, storing
+// SUM/COUNT-style measures that can be aggregated further. It answers the
+// query exactly when
+//
+//   - the view's tables are the query's tables (full replacement — an
+//     aggregate cannot participate in further joins soundly),
+//   - view and query agree on the join edges,
+//   - every query grouping column and every sargable predicate column lies
+//     in the view's GroupBy (so filters and the final rollup apply to
+//     retained dimensions), and
+//   - every other referenced column (the measures) is stored in Columns.
+func (o *Optimizer) aggViewMatches(a *sqlparse.Analysis, v *physical.View, remaining map[string]bool) bool {
+	if len(a.GroupBy) == 0 || a.HasDisjunction {
+		return false
+	}
+	if len(v.Tables) != len(a.Tables) {
+		return false
+	}
+	for _, t := range v.Tables {
+		if !remaining[t] || !contains(a.Tables, t) {
+			return false
+		}
+	}
+	queryJoins := make(map[string]bool, len(a.Joins))
+	for _, j := range a.Joins {
+		queryJoins[j.JoinKey()] = true
+	}
+	if len(v.Joins) != len(a.Joins) {
+		return false
+	}
+	for _, j := range v.Joins {
+		if !queryJoins[j.JoinKey()] {
+			return false
+		}
+	}
+	dims := make(map[sqlparse.TableColumn]bool, len(v.GroupBy))
+	for _, g := range v.GroupBy {
+		dims[g] = true
+	}
+	for _, g := range a.GroupBy {
+		if !dims[g] {
+			return false
+		}
+	}
+	for _, p := range a.Preds {
+		if !dims[p.Col] {
+			return false
+		}
+	}
+	measures := make(map[sqlparse.TableColumn]bool, len(v.Columns))
+	for _, c := range v.Columns {
+		measures[c] = true
+	}
+	for _, tc := range a.Referenced {
+		if !dims[tc] && !measures[tc] {
+			return false
+		}
+	}
+	return true
+}
+
+func contains(xs []string, v string) bool {
+	for _, x := range xs {
+		if x == v {
+			return true
+		}
+	}
+	return false
+}
+
+// viewRelation costs scanning a matched view with the query's predicates on
+// its tables applied as residuals. For aggregate views the scan reads the
+// pre-aggregated rows (far fewer than the underlying join) and the output
+// is the further rollup to the query's grouping granularity.
+func (o *Optimizer) viewRelation(a *sqlparse.Analysis, v *physical.View) relation {
+	vRows := float64(v.EstimatedRows(o.cat))
+	pages := float64(v.SizeBytes(o.cat)) / catalog.PageSize
+	if pages < 1 {
+		pages = 1
+	}
+	sel := 1.0
+	for _, t := range v.Tables {
+		sel *= o.tableSelectivity(a, t)
+	}
+	out := vRows * sel
+	if len(v.GroupBy) > 0 && len(a.GroupBy) > 0 {
+		// Rollup: the output cardinality is bounded by the query's own
+		// grouping granularity.
+		groups := 1.0
+		for _, g := range a.GroupBy {
+			if c, ok := o.cat.ColumnStats(g.Table, g.Column); ok && c.Distinct > 0 {
+				groups *= float64(c.Distinct)
+			}
+		}
+		if groups < out {
+			out = groups
+		}
+	}
+	if out < 1 {
+		out = 1
+	}
+	cost := (pages*SeqPageCost + vRows*CPUTupleCost) *
+		o.pathWobble(a, v.Tables[0], v.ID())
+	return relation{
+		tables: append([]string(nil), v.Tables...),
+		cost:   cost,
+		rows:   out,
+	}
+}
+
+func referencedColumns(a *sqlparse.Analysis, table string) []string {
+	var out []string
+	for _, tc := range a.Referenced {
+		if tc.Table == table {
+			out = append(out, tc.Column)
+		}
+	}
+	return out
+}
+
+// joinRelations folds the relations into one result with a greedy
+// left-deep join order: start from the smallest relation, repeatedly join
+// the smallest relation connected to the current set by a join predicate
+// (falling back to a cross product with the smallest leftover). Each step
+// takes the cheaper of a hash join and an index nested-loop join. The
+// greedy order depends only on catalog statistics — never on the
+// configuration — so adding structures can only lower each step's cost
+// (well-behavedness, Section 6.1).
+func (o *Optimizer) joinRelations(a *sqlparse.Analysis, cfg *physical.Configuration, rels []relation) relation {
+	if len(rels) == 0 {
+		return relation{rows: 1}
+	}
+	// Deterministic greedy order: smallest row count first (ties by table
+	// name so runs are reproducible).
+	sort.Slice(rels, func(i, j int) bool {
+		if rels[i].rows != rels[j].rows {
+			return rels[i].rows < rels[j].rows
+		}
+		return rels[i].tables[0] < rels[j].tables[0]
+	})
+	cur := rels[0]
+	pending := rels[1:]
+	totalCost := cur.cost
+
+	for len(pending) > 0 {
+		idx := -1
+		var joinPred *sqlparse.JoinPredicate
+		for i := range pending {
+			if jp := connecting(a, cur.tables, pending[i].tables); jp != nil {
+				idx = i
+				joinPred = jp
+				break // pending is sorted by rows: first connected is smallest
+			}
+		}
+		if idx < 0 {
+			idx = 0 // cross product with the smallest leftover
+		}
+		next := pending[idx]
+		pending = append(pending[:idx], pending[idx+1:]...)
+
+		// Candidate join arms; each arm's contribution is the pair of
+		// access costs it needs plus the join operator itself. The minimum
+		// over arms keeps the optimizer well-behaved: a growing
+		// configuration only adds arms (or cheapens existing ones).
+		joinOp := "CrossJoin"
+		outRows := cur.rows * next.rows
+		bestContribution := cur.cost + next.cost + hashJoinCost(cur.rows, next.rows)
+		if joinPred != nil {
+			joinOp = "HashJoin"
+			d := o.joinDistinct(*joinPred)
+			outRows = cur.rows * next.rows / d
+
+			// Merge join: the cheapest *ordered* access paths of both
+			// sides (interesting-order arms), when both are base tables.
+			if cur.baseTable != "" && next.baseTable != "" {
+				curOrd, okC := o.bestAccessOrdered(a, cur.baseTable, cfg,
+					referencedColumns(a, cur.baseTable),
+					[]string{joinColumnOf(*joinPred, cur.tables)})
+				nextOrd, okN := o.bestAccessOrdered(a, next.baseTable, cfg,
+					referencedColumns(a, next.baseTable),
+					[]string{joinColumnOf(*joinPred, next.tables)})
+				if okC && okN {
+					if c := curOrd.cost + nextOrd.cost + mergeJoinCost(cur.rows, next.rows); c < bestContribution {
+						bestContribution = c
+						joinOp = "MergeJoin"
+					}
+				}
+			}
+
+			// Index nested loop: outer produced normally; the inner base
+			// table is reached by per-row seeks instead of its access path.
+			if next.baseTable != "" {
+				if inner := o.indexNLCost(a, cfg, cur.rows, next, *joinPred); inner >= 0 {
+					if c := cur.cost + inner; c < bestContribution {
+						bestContribution = c
+						joinOp = "IndexNLJoin"
+					}
+				}
+			}
+		}
+		// totalCost already includes cur.cost (from initialization or the
+		// previous iteration's bookkeeping) — rebase it so this step adds
+		// exactly the chosen arm's contribution.
+		totalCost -= cur.cost
+		totalCost += bestContribution
+		if outRows < 1 {
+			outRows = 1
+		}
+		merged := relation{
+			tables: append(cur.tables, next.tables...),
+			rows:   outRows,
+			cost:   totalCost,
+		}
+		if cur.node != nil || next.node != nil {
+			detail := ""
+			if joinPred != nil {
+				detail = joinPred.JoinKey()
+			}
+			merged.node = &PlanNode{
+				Op: joinOp, Detail: detail, Cost: totalCost, Rows: outRows,
+				Children: []*PlanNode{cur.node, next.node},
+			}
+		}
+		cur = merged
+	}
+	cur.cost = totalCost
+	return cur
+}
+
+// connecting returns a join predicate of the query linking the two table
+// sets, or nil.
+func connecting(a *sqlparse.Analysis, left, right []string) *sqlparse.JoinPredicate {
+	for i := range a.Joins {
+		j := a.Joins[i]
+		l, r := j.Left.Table, j.Right.Table
+		if (contains(left, l) && contains(right, r)) ||
+			(contains(left, r) && contains(right, l)) {
+			return &a.Joins[i]
+		}
+	}
+	return nil
+}
+
+// joinDistinct is the classic |T1⋈T2| denominator max(d_left, d_right).
+func (o *Optimizer) joinDistinct(j sqlparse.JoinPredicate) float64 {
+	d := 1
+	if c, ok := o.cat.ColumnStats(j.Left.Table, j.Left.Column); ok && c.Distinct > d {
+		d = c.Distinct
+	}
+	if c, ok := o.cat.ColumnStats(j.Right.Table, j.Right.Column); ok && c.Distinct > d {
+		d = c.Distinct
+	}
+	return float64(d)
+}
+
+func hashJoinCost(buildRows, probeRows float64) float64 {
+	// Build on the smaller side.
+	if probeRows < buildRows {
+		buildRows, probeRows = probeRows, buildRows
+	}
+	return buildRows*HashBuildCost + probeRows*CPUTupleCost
+}
+
+// mergeJoinCost is a single interleaved pass over two pre-sorted inputs.
+func mergeJoinCost(leftRows, rightRows float64) float64 {
+	return (leftRows + rightRows) * CPUTupleCost
+}
+
+// joinColumnOf returns the join column belonging to the relation covering
+// the given tables, or "" when the predicate does not touch them.
+func joinColumnOf(j sqlparse.JoinPredicate, tables []string) string {
+	if contains(tables, j.Left.Table) {
+		return j.Left.Column
+	}
+	if contains(tables, j.Right.Table) {
+		return j.Right.Column
+	}
+	return ""
+}
+
+// indexNLCost costs an index nested-loop join driving cur.rows outer rows
+// into an index on the inner base table's join column; it returns -1 when
+// no usable index exists in cfg.
+func (o *Optimizer) indexNLCost(a *sqlparse.Analysis, cfg *physical.Configuration, outerRows float64, inner relation, j sqlparse.JoinPredicate) float64 {
+	var innerCol string
+	switch inner.baseTable {
+	case j.Left.Table:
+		innerCol = j.Left.Column
+	case j.Right.Table:
+		innerCol = j.Right.Column
+	default:
+		return -1
+	}
+	t, ok := o.cat.Table(inner.baseTable)
+	if !ok {
+		return -1
+	}
+	for _, ix := range cfg.IndexesOn(inner.baseTable) {
+		if ix.LeadColumn() != innerCol {
+			continue
+		}
+		d := o.joinDistinct(j)
+		matchRows := float64(t.Rows) / d
+		if matchRows < 1 {
+			matchRows = 1
+		}
+		perOuter := BTreeDescentCost + matchRows*CPUIndexTupleCost
+		if !ix.Covers(referencedColumns(a, inner.baseTable)) {
+			perOuter += matchRows * RandPageCost
+		}
+		return outerRows * perOuter
+	}
+	return -1
+}

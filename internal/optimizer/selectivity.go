@@ -1,0 +1,150 @@
+package optimizer
+
+import (
+	"math"
+	"strings"
+
+	"physdes/internal/catalog"
+	"physdes/internal/sqlparse"
+)
+
+// predSelectivity estimates the fraction of a table's rows satisfying one
+// single-column predicate, using the column's histogram.
+func (o *Optimizer) predSelectivity(p sqlparse.ColumnPredicate) float64 {
+	col, ok := o.cat.ColumnStats(p.Col.Table, p.Col.Column)
+	if !ok {
+		return defaultSelectivity(p.Kind)
+	}
+	h := catalog.ColumnHistogram(col)
+	switch p.Kind {
+	case sqlparse.PredEq:
+		return clampSel(o.eqSelectivity(col, h, p.EqValue))
+	case sqlparse.PredNeq:
+		return clampSel(1 - o.eqSelectivity(col, h, p.EqValue))
+	case sqlparse.PredRange:
+		lo, hi := math.Inf(-1), math.Inf(1)
+		if p.HasLo {
+			lo = p.Lo
+		}
+		if p.HasHi {
+			hi = p.Hi
+		}
+		if !p.HasLo && !p.HasHi {
+			return defaultSelectivity(p.Kind)
+		}
+		return clampSel(h.RangeSelectivity(lo, hi))
+	case sqlparse.PredIn:
+		// IN-lists bind k values; without the individual literals handy we
+		// charge k average equality selectivities (uniform assumption over
+		// the drawn values, which the generators satisfy).
+		d := col.Distinct
+		if d < 1 {
+			d = 1
+		}
+		return clampSel(float64(p.InCount) / float64(d))
+	case sqlparse.PredLike:
+		return likeSelectivity(p.LikePattern)
+	case sqlparse.PredIsNull:
+		return clampSel(col.NullFrac)
+	}
+	return defaultSelectivity(p.Kind)
+}
+
+func (o *Optimizer) eqSelectivity(col catalog.Column, h *catalog.Histogram, lit sqlparse.Literal) float64 {
+	switch lit.Kind {
+	case sqlparse.LitNumber:
+		return h.EqSelectivity(lit.Num)
+	case sqlparse.LitString:
+		if rank := catalog.RankOfString(lit.Str); rank > 0 {
+			return h.EqSelectivity(float64(rank))
+		}
+		d := col.Distinct
+		if d < 1 {
+			d = 1
+		}
+		return 1 / float64(d)
+	}
+	if col.NullFrac > 0 {
+		return col.NullFrac
+	}
+	return 0
+}
+
+func defaultSelectivity(k sqlparse.PredKind) float64 {
+	switch k {
+	case sqlparse.PredEq:
+		return 0.005
+	case sqlparse.PredRange:
+		return 1.0 / 3.0
+	case sqlparse.PredIn:
+		return 0.02
+	case sqlparse.PredLike:
+		return 0.05
+	case sqlparse.PredNeq:
+		return 0.995
+	case sqlparse.PredIsNull:
+		return 0.01
+	}
+	return 0.1
+}
+
+func likeSelectivity(pattern string) float64 {
+	p := strings.Trim(pattern, "'")
+	if strings.HasPrefix(p, "%") {
+		return 0.05 // non-sargable contains/suffix match
+	}
+	// Prefix match: longer literal prefixes are more selective.
+	prefixLen := strings.IndexAny(p, "%_")
+	if prefixLen < 0 {
+		prefixLen = len(p)
+	}
+	sel := math.Pow(0.2, float64(min(prefixLen, 4)))
+	return clampSel(sel)
+}
+
+func clampSel(s float64) float64 {
+	if s < 1e-9 {
+		return 1e-9
+	}
+	if s > 1 {
+		return 1
+	}
+	return s
+}
+
+// tableSelectivity combines all predicates on one table: conjunctive
+// predicates multiply (independence assumption); predicates under
+// disjunctions contribute an OR-combined factor 1-Π(1-sᵢ).
+func (o *Optimizer) tableSelectivity(a *sqlparse.Analysis, table string) float64 {
+	conj := 1.0
+	disjMiss := 1.0
+	haveDisj := false
+	for _, p := range a.Preds {
+		if p.Col.Table != table {
+			continue
+		}
+		s := o.predSelectivity(p)
+		if p.InDisjunction {
+			haveDisj = true
+			disjMiss *= 1 - s
+		} else {
+			conj *= s
+		}
+	}
+	if haveDisj {
+		conj *= clampSel(1 - disjMiss)
+	}
+	return clampSel(conj)
+}
+
+// SelectivityOf returns the combined WHERE selectivity of the statement's
+// (single) modified table — used by the bounds package to find, per
+// template, the member statements with the largest and smallest
+// selectivity (Section 6.1's UPDATE bounding).
+func (o *Optimizer) SelectivityOf(a *sqlparse.Analysis) float64 {
+	t := a.ModifiedTable
+	if t == "" && len(a.Tables) > 0 {
+		t = a.Tables[0]
+	}
+	return o.tableSelectivity(a, t)
+}

@@ -1,0 +1,113 @@
+package physical
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"physdes/internal/sqlparse"
+)
+
+// The JSON encoding lets tools persist and exchange recommended
+// configurations (the physdes CLI's -out flag writes it). A configuration
+// encodes as a name plus a list of tagged structures.
+
+type configJSON struct {
+	Name       string          `json:"name"`
+	Structures []structureJSON `json:"structures"`
+}
+
+type structureJSON struct {
+	Kind    string   `json:"kind"` // "index" or "view"
+	Table   string   `json:"table,omitempty"`
+	Key     []string `json:"key,omitempty"`
+	Include []string `json:"include,omitempty"`
+
+	Tables  []string          `json:"tables,omitempty"`
+	Joins   []joinJSON        `json:"joins,omitempty"`
+	Columns []tableColumnJSON `json:"columns,omitempty"`
+	GroupBy []tableColumnJSON `json:"group_by,omitempty"`
+}
+
+type joinJSON struct {
+	LeftTable   string `json:"left_table"`
+	LeftColumn  string `json:"left_column"`
+	RightTable  string `json:"right_table"`
+	RightColumn string `json:"right_column"`
+}
+
+type tableColumnJSON struct {
+	Table  string `json:"table"`
+	Column string `json:"column"`
+}
+
+// MarshalJSON implements json.Marshaler.
+func (c *Configuration) MarshalJSON() ([]byte, error) {
+	out := configJSON{Name: c.Name()}
+	for _, s := range c.Structures() {
+		switch x := s.(type) {
+		case *Index:
+			out.Structures = append(out.Structures, structureJSON{
+				Kind: "index", Table: x.Table, Key: x.Key, Include: x.Include,
+			})
+		case *View:
+			sj := structureJSON{Kind: "view", Tables: x.Tables}
+			for _, j := range x.Joins {
+				sj.Joins = append(sj.Joins, joinJSON{
+					LeftTable: j.Left.Table, LeftColumn: j.Left.Column,
+					RightTable: j.Right.Table, RightColumn: j.Right.Column,
+				})
+			}
+			for _, col := range x.Columns {
+				sj.Columns = append(sj.Columns, tableColumnJSON{Table: col.Table, Column: col.Column})
+			}
+			for _, col := range x.GroupBy {
+				sj.GroupBy = append(sj.GroupBy, tableColumnJSON{Table: col.Table, Column: col.Column})
+			}
+			out.Structures = append(out.Structures, sj)
+		default:
+			return nil, fmt.Errorf("physical: cannot encode structure %T", s)
+		}
+	}
+	return json.Marshal(out)
+}
+
+// UnmarshalJSON implements json.Unmarshaler.
+func (c *Configuration) UnmarshalJSON(data []byte) error {
+	var in configJSON
+	if err := json.Unmarshal(data, &in); err != nil {
+		return fmt.Errorf("physical: decode configuration: %w", err)
+	}
+	var structures []Structure
+	for i, sj := range in.Structures {
+		switch sj.Kind {
+		case "index":
+			if sj.Table == "" || len(sj.Key) == 0 {
+				return fmt.Errorf("physical: structure %d: index needs table and key", i)
+			}
+			structures = append(structures, NewIndex(sj.Table, sj.Key, sj.Include...))
+		case "view":
+			if len(sj.Tables) == 0 {
+				return fmt.Errorf("physical: structure %d: view needs tables", i)
+			}
+			var joins []sqlparse.JoinPredicate
+			for _, j := range sj.Joins {
+				joins = append(joins, sqlparse.JoinPredicate{
+					Left:  sqlparse.TableColumn{Table: j.LeftTable, Column: j.LeftColumn},
+					Right: sqlparse.TableColumn{Table: j.RightTable, Column: j.RightColumn},
+				})
+			}
+			var cols, groupBy []sqlparse.TableColumn
+			for _, tc := range sj.Columns {
+				cols = append(cols, sqlparse.TableColumn{Table: tc.Table, Column: tc.Column})
+			}
+			for _, tc := range sj.GroupBy {
+				groupBy = append(groupBy, sqlparse.TableColumn{Table: tc.Table, Column: tc.Column})
+			}
+			structures = append(structures, NewView(sj.Tables, joins, cols, groupBy))
+		default:
+			return fmt.Errorf("physical: structure %d: unknown kind %q", i, sj.Kind)
+		}
+	}
+	*c = *NewConfiguration(in.Name, structures...)
+	return nil
+}

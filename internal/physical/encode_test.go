@@ -1,0 +1,65 @@
+package physical
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"physdes/internal/sqlparse"
+)
+
+func TestConfigurationJSONRoundTrip(t *testing.T) {
+	j := sqlparse.JoinPredicate{
+		Left:  sqlparse.TableColumn{Table: "lineitem", Column: "l_orderkey"},
+		Right: sqlparse.TableColumn{Table: "orders", Column: "o_orderkey"},
+	}
+	orig := NewConfiguration("rec",
+		NewIndex("lineitem", []string{"l_shipdate", "l_quantity"}, "l_tax"),
+		NewIndex("orders", []string{"o_orderdate"}),
+		NewView([]string{"lineitem", "orders"}, []sqlparse.JoinPredicate{j},
+			[]sqlparse.TableColumn{{Table: "orders", Column: "o_orderdate"}},
+			[]sqlparse.TableColumn{{Table: "orders", Column: "o_orderdate"}}),
+	)
+	data, err := json.Marshal(orig)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Configuration
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Fingerprint() != orig.Fingerprint() {
+		t.Errorf("roundtrip changed fingerprint:\n%s\n%s", orig.Fingerprint(), back.Fingerprint())
+	}
+	if back.Name() != "rec" {
+		t.Errorf("name = %q", back.Name())
+	}
+}
+
+func TestConfigurationJSONErrors(t *testing.T) {
+	bad := []string{
+		`{"name":"x","structures":[{"kind":"nope"}]}`,
+		`{"name":"x","structures":[{"kind":"index"}]}`,
+		`{"name":"x","structures":[{"kind":"view"}]}`,
+		`{invalid`,
+	}
+	for _, src := range bad {
+		var c Configuration
+		if err := json.Unmarshal([]byte(src), &c); err == nil {
+			t.Errorf("decoding %q should fail", src)
+		}
+	}
+}
+
+func TestConfigurationJSONReadable(t *testing.T) {
+	c := NewConfiguration("r", NewIndex("t", []string{"a"}, "b"))
+	data, err := json.MarshalIndent(c, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{`"kind": "index"`, `"table": "t"`, `"include"`} {
+		if !strings.Contains(string(data), want) {
+			t.Errorf("encoding missing %s:\n%s", want, data)
+		}
+	}
+}

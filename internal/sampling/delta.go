@@ -1,0 +1,667 @@
+package sampling
+
+import (
+	"math"
+
+	"physdes/internal/stats"
+)
+
+// dStratum is one stratum of the Delta sampler: all configurations share
+// the stratum's sample (the defining property of Delta Sampling).
+type dStratum struct {
+	templates []int
+	size      int
+	order     []int // permuted unsampled query indices
+	next      int
+	n         int
+	sums      []float64 // per config Σ cost
+	sumsqs    []float64 // per config Σ cost²
+	cross     []float64 // per config Σ cost_best·cost_j (vs current best)
+	rowIdx    []int     // indices into the sampler's row history
+	avgOver   float64   // mean optimization overhead of member queries
+}
+
+func (s *dStratum) exhausted() bool { return s.next >= len(s.order) }
+
+// dRow is one sampled query's cost vector (NaN for configurations already
+// eliminated at sampling time).
+type dRow struct {
+	tmpl  int
+	costs []float64
+}
+
+// deltaSampler runs Algorithm 1 with Delta Sampling.
+type deltaSampler struct {
+	o    Oracle
+	opts Options
+	pop  *population
+
+	k, n       int
+	alive      []bool
+	aliveCount int
+	elimPen    float64 // Σ (1 − Pr(CS)) at elimination time
+
+	strata []*dStratum
+
+	// Per-template estimator statistics (per configuration), for split
+	// decisions.
+	tCount []int
+	tSum   [][]float64
+	tSumsq [][]float64
+	tCross [][]float64
+
+	rows    []dRow
+	best    int
+	sampled int
+	splits  int
+
+	trace []float64
+}
+
+func newDeltaSampler(o Oracle, opts Options) *deltaSampler {
+	k, n := o.K(), o.N()
+	d := &deltaSampler{
+		o: o, opts: opts,
+		pop:        newPopulation(opts.TemplateIndex, opts.TemplateCount, n),
+		k:          k,
+		n:          n,
+		alive:      make([]bool, k),
+		aliveCount: k,
+		tCount:     make([]int, maxInt(opts.TemplateCount, 1)),
+		tSum:       make([][]float64, maxInt(opts.TemplateCount, 1)),
+		tSumsq:     make([][]float64, maxInt(opts.TemplateCount, 1)),
+		tCross:     make([][]float64, maxInt(opts.TemplateCount, 1)),
+	}
+	for i := range d.alive {
+		d.alive[i] = true
+	}
+	for t := range d.tSum {
+		d.tSum[t] = make([]float64, k)
+		d.tSumsq[t] = make([]float64, k)
+		d.tCross[t] = make([]float64, k)
+	}
+	for _, tmpls := range d.pop.initialTemplates(opts.Strat) {
+		d.addStratum(tmpls)
+	}
+	return d
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func (d *deltaSampler) addStratum(templates []int) *dStratum {
+	order := d.pop.shuffledMembers(templates, d.opts.RNG)
+	s := &dStratum{
+		templates: templates,
+		size:      len(order),
+		order:     order,
+		sums:      make([]float64, d.k),
+		sumsqs:    make([]float64, d.k),
+		cross:     make([]float64, d.k),
+		avgOver:   d.avgOverhead(order),
+	}
+	d.strata = append(d.strata, s)
+	return s
+}
+
+// avgOverhead is the mean per-call optimization overhead of the queries
+// (1 when no CallCost model is configured).
+func (d *deltaSampler) avgOverhead(queries []int) float64 {
+	if d.opts.CallCost == nil || len(queries) == 0 {
+		return 1
+	}
+	var sum float64
+	for _, q := range queries {
+		sum += d.opts.CallCost(q)
+	}
+	avg := sum / float64(len(queries))
+	if avg <= 0 {
+		return 1
+	}
+	return avg
+}
+
+// budgetLeft reports whether another sampled query fits the call budget.
+func (d *deltaSampler) budgetLeft() bool {
+	if d.opts.MaxCalls <= 0 {
+		return true
+	}
+	return d.o.Calls()+int64(d.aliveCount) <= d.opts.MaxCalls
+}
+
+// sampleFrom draws the next query of stratum h and folds its costs in.
+func (d *deltaSampler) sampleFrom(h int) bool {
+	s := d.strata[h]
+	if s.exhausted() || !d.budgetLeft() {
+		return false
+	}
+	q := s.order[s.next]
+	s.next++
+	s.n++
+	d.sampled++
+
+	costs := make([]float64, d.k)
+	for j := 0; j < d.k; j++ {
+		if !d.alive[j] {
+			costs[j] = math.NaN()
+			continue
+		}
+		costs[j] = d.o.Cost(q, j)
+	}
+	tmpl := 0
+	if d.opts.TemplateIndex != nil {
+		tmpl = d.opts.TemplateIndex[q]
+	}
+	d.rows = append(d.rows, dRow{tmpl: tmpl, costs: costs})
+	s.rowIdx = append(s.rowIdx, len(d.rows)-1)
+
+	cb := costs[d.best]
+	for j := 0; j < d.k; j++ {
+		if !d.alive[j] {
+			continue
+		}
+		c := costs[j]
+		s.sums[j] += c
+		s.sumsqs[j] += c * c
+		d.tSum[tmpl][j] += c
+		d.tSumsq[tmpl][j] += c * c
+		if !math.IsNaN(cb) {
+			s.cross[j] += cb * c
+			d.tCross[tmpl][j] += cb * c
+		}
+	}
+	d.tCount[tmpl]++
+	return true
+}
+
+// estimate returns X_j = Σ_h |WL_h|·mean_h(j) for an alive configuration.
+// Strata without samples fall back to the configuration's global sample
+// mean — unbiased strata-wise coverage is exactly what fine stratification
+// at small sample sizes lacks (Figure 2).
+func (d *deltaSampler) estimate(j int) float64 {
+	var globalSum float64
+	globalN := 0
+	for _, s := range d.strata {
+		globalSum += s.sums[j]
+		globalN += s.n
+	}
+	globalMean := 0.0
+	if globalN > 0 {
+		globalMean = globalSum / float64(globalN)
+	}
+	var x float64
+	for _, s := range d.strata {
+		if s.n > 0 {
+			x += float64(s.size) * (s.sums[j] / float64(s.n))
+		} else {
+			x += float64(s.size) * globalMean
+		}
+	}
+	return x
+}
+
+// pairDiffVar returns Var(X_{b,j}) per Equations 4 and 5: the stratified
+// variance of the difference estimator between the current best b and j.
+func (d *deltaSampler) pairDiffVar(j int) float64 {
+	b := d.best
+	// Global fallback s² for strata with n < 2.
+	var gSum, gSumsq float64
+	gN := 0
+	for _, s := range d.strata {
+		gSum += s.sums[b] - s.sums[j]
+		gSumsq += s.sumsqs[b] + s.sumsqs[j] - 2*s.cross[j]
+		gN += s.n
+	}
+	gVar, _ := sampleVarFromSums(gSum, gSumsq, gN)
+	// A conservative σ²_max bound (Section 6.2) replaces any smaller
+	// sample-variance estimate, per stratum and in the fallback.
+	boundS2, haveBound := 0.0, false
+	if bound := d.opts.VarianceBound; bound != nil {
+		boundS2, haveBound = bound([2]int{b, j}, gN)
+	}
+	if haveBound && boundS2 > gVar {
+		gVar = boundS2
+	}
+
+	var v float64
+	for _, s := range d.strata {
+		if s.n >= s.size {
+			continue // census: no variance left
+		}
+		nEff := s.n
+		var s2 float64
+		if nEff >= 2 {
+			sum := s.sums[b] - s.sums[j]
+			sumsq := s.sumsqs[b] + s.sumsqs[j] - 2*s.cross[j]
+			s2, _ = sampleVarFromSums(sum, sumsq, nEff)
+		} else {
+			s2 = gVar
+			if nEff == 0 {
+				nEff = 1 // unsampled stratum: charge one phantom sample
+			}
+		}
+		if haveBound && boundS2 > s2 {
+			s2 = boundS2
+		}
+		W := float64(s.size)
+		v += W * W * s2 / float64(nEff) * (1 - float64(s.n)/W)
+	}
+	return v
+}
+
+// prCS computes the multi-way probability of correct selection via the
+// Bonferroni bound (Equation 3), folding in the frozen penalty of
+// eliminated configurations.
+func (d *deltaSampler) prCS() (float64, []float64) {
+	xb := d.estimate(d.best)
+	pair := make([]float64, d.k)
+	p := 1 - d.elimPen
+	for j := 0; j < d.k; j++ {
+		if j == d.best || !d.alive[j] {
+			continue
+		}
+		gap := d.estimate(j) - xb
+		se := math.Sqrt(math.Max(d.pairDiffVar(j), 0))
+		pij := stats.PairwisePrCS(gap, d.opts.Delta, se)
+		pair[j] = pij
+		p -= 1 - pij
+	}
+	if p < 0 {
+		p = 0
+	}
+	if p > 1 {
+		p = 1
+	}
+	return p, pair
+}
+
+// chooseBest re-selects the configuration with the smallest estimate and
+// refreshes cross sums when the incumbent changes.
+func (d *deltaSampler) chooseBest() {
+	best := -1
+	var bx float64
+	for j := 0; j < d.k; j++ {
+		if !d.alive[j] {
+			continue
+		}
+		x := d.estimate(j)
+		if best < 0 || x < bx {
+			best, bx = j, x
+		}
+	}
+	if best == d.best || best < 0 {
+		return
+	}
+	d.best = best
+	d.recomputeCross()
+}
+
+// recomputeCross rebuilds Σ c_best·c_j accumulators from the row history
+// after a best-configuration change or a stratum split.
+func (d *deltaSampler) recomputeCross() {
+	b := d.best
+	for _, s := range d.strata {
+		for j := range s.cross {
+			s.cross[j] = 0
+		}
+		for _, ri := range s.rowIdx {
+			row := d.rows[ri]
+			cb := row.costs[b]
+			if math.IsNaN(cb) {
+				continue
+			}
+			for j := 0; j < d.k; j++ {
+				c := row.costs[j]
+				if !math.IsNaN(c) {
+					s.cross[j] += cb * c
+				}
+			}
+		}
+	}
+	for t := range d.tCross {
+		for j := range d.tCross[t] {
+			d.tCross[t][j] = 0
+		}
+	}
+	for _, row := range d.rows {
+		cb := row.costs[b]
+		if math.IsNaN(cb) {
+			continue
+		}
+		for j := 0; j < d.k; j++ {
+			c := row.costs[j]
+			if !math.IsNaN(c) {
+				d.tCross[row.tmpl][j] += cb * c
+			}
+		}
+	}
+}
+
+// eliminate drops configurations whose pairwise Pr(CS) exceeds the
+// threshold (Section 5's large-k optimization). Elimination is
+// irreversible, so it is deferred until the estimates rest on at least
+// twice the pilot sample — a pilot-only fluke in a heavy-tailed cost
+// distribution must not evict the true best configuration.
+func (d *deltaSampler) eliminate(pair []float64) {
+	th := d.opts.EliminationThreshold
+	if th <= 0 {
+		return
+	}
+	if d.sampled < 2*d.opts.NMin {
+		return
+	}
+	for j := 0; j < d.k; j++ {
+		if j == d.best || !d.alive[j] {
+			continue
+		}
+		if pair[j] > th {
+			d.alive[j] = false
+			d.aliveCount--
+			d.elimPen += 1 - pair[j]
+		}
+	}
+}
+
+// nextStratum picks the stratum whose next sample shrinks the summed
+// pairwise estimator variance the most (Section 5.2). EqualAlloc mode
+// instead keeps per-stratum counts level.
+func (d *deltaSampler) nextStratum() int {
+	if d.opts.Strat == EqualAlloc {
+		bestH, bestN := -1, 0
+		for h, s := range d.strata {
+			if s.exhausted() {
+				continue
+			}
+			if bestH < 0 || s.n < bestN {
+				bestH, bestN = h, s.n
+			}
+		}
+		return bestH
+	}
+	bestH := -1
+	var bestDrop float64
+	for h, s := range d.strata {
+		if s.exhausted() {
+			continue
+		}
+		if s.n < 2 {
+			return h // strata without variance estimates first
+		}
+		var drop float64
+		W := float64(s.size)
+		for j := 0; j < d.k; j++ {
+			if j == d.best || !d.alive[j] {
+				continue
+			}
+			sum := s.sums[d.best] - s.sums[j]
+			sumsq := s.sumsqs[d.best] + s.sumsqs[j] - 2*s.cross[j]
+			s2, ok := sampleVarFromSums(sum, sumsq, s.n)
+			if !ok {
+				continue
+			}
+			n := float64(s.n)
+			cur := W * W * s2 / n * (1 - n/W)
+			nxt := W * W * s2 / (n + 1) * (1 - (n+1)/W)
+			drop += cur - nxt
+		}
+		// Section 5.2: with non-constant optimization times, maximize the
+		// variance reduction relative to the expected overhead.
+		drop /= s.avgOver
+		if bestH < 0 || drop > bestDrop {
+			bestH, bestDrop = h, drop
+		}
+	}
+	return bestH
+}
+
+// maybeSplit runs Algorithm 2 when progressive stratification is enabled.
+func (d *deltaSampler) maybeSplit() {
+	if d.opts.Strat != Progressive {
+		return
+	}
+	// Constraining pair: the alive configuration with the lowest pairwise
+	// Pr(CS) versus the incumbent (single ranking, Section 5.1's
+	// tractability simplification for Delta Sampling).
+	_, pair := d.prCS()
+	worst, worstP := -1, 2.0
+	for j := 0; j < d.k; j++ {
+		if j == d.best || !d.alive[j] {
+			continue
+		}
+		if pair[j] < worstP {
+			worst, worstP = j, pair[j]
+		}
+	}
+	if worst < 0 {
+		return
+	}
+
+	// Target variance: the pairwise probability each alive pair must reach
+	// so the Bonferroni bound meets α.
+	perPair := 1 - (1-d.opts.Alpha)/float64(maxInt(d.aliveCount-1, 1))
+	gap := d.estimate(worst) - d.estimate(d.best)
+	targetVar := stats.TargetVarianceForPrCS(gap, d.opts.Delta, perPair)
+	if math.IsInf(targetVar, 1) {
+		return
+	}
+
+	cur := make([]stats.Stratum, len(d.strata))
+	tmplStats := make([][]tmplStat, len(d.strata))
+	for h, s := range d.strata {
+		sum := s.sums[d.best] - s.sums[worst]
+		sumsq := s.sumsqs[d.best] + s.sumsqs[worst] - 2*s.cross[worst]
+		s2, _ := sampleVarFromSums(sum, sumsq, s.n)
+		cur[h] = stats.Stratum{Size: s.size, S2: s2, Taken: s.n}
+		tmplStats[h] = d.stratumTmplStats(s, worst)
+	}
+	dec, ok := findBestSplit(cur, tmplStats, targetVar, d.opts.NMin)
+	if !ok {
+		return
+	}
+	d.applySplit(dec)
+}
+
+// stratumTmplStats summarizes the per-template difference statistics of a
+// stratum for the constraining pair, or nil when some member template lacks
+// observations.
+func (d *deltaSampler) stratumTmplStats(s *dStratum, worst int) []tmplStat {
+	out := make([]tmplStat, 0, len(s.templates))
+	for _, t := range s.templates {
+		if d.tCount[t] < d.opts.MinTemplateObs {
+			return nil
+		}
+		n := d.tCount[t]
+		sum := d.tSum[t][d.best] - d.tSum[t][worst]
+		sumsq := d.tSumsq[t][d.best] + d.tSumsq[t][worst] - 2*d.tCross[t][worst]
+		m := sum / float64(n)
+		v, _ := sampleVarFromSums(sum, sumsq, n)
+		out = append(out, tmplStat{t: t, w: d.pop.templateSize(t), m: m, v: v})
+	}
+	return out
+}
+
+// applySplit replaces the split stratum with its two children, partitioning
+// the unsampled order and replaying the sampled rows into the right child.
+func (d *deltaSampler) applySplit(dec splitDecision) {
+	parent := d.strata[dec.stratum]
+	leftSet := make(map[int]bool, len(dec.left))
+	for _, t := range dec.left {
+		leftSet[t] = true
+	}
+	var rightTmpls []int
+	for _, t := range parent.templates {
+		if !leftSet[t] {
+			rightTmpls = append(rightTmpls, t)
+		}
+	}
+
+	mk := func(tmpls []int) *dStratum {
+		size := 0
+		for _, t := range tmpls {
+			size += d.pop.templateSize(t)
+		}
+		return &dStratum{
+			templates: tmpls,
+			size:      size,
+			sums:      make([]float64, d.k),
+			sumsqs:    make([]float64, d.k),
+			cross:     make([]float64, d.k),
+		}
+	}
+	left, right := mk(dec.left), mk(rightTmpls)
+
+	inLeft := func(tmpl int) bool { return leftSet[tmpl] }
+	// Partition the remaining (unsampled) order, preserving its random
+	// relative order within each child.
+	for _, q := range parent.order[parent.next:] {
+		tmpl := 0
+		if d.opts.TemplateIndex != nil {
+			tmpl = d.opts.TemplateIndex[q]
+		}
+		if inLeft(tmpl) {
+			left.order = append(left.order, q)
+		} else {
+			right.order = append(right.order, q)
+		}
+	}
+	// Replay sampled rows into the children.
+	for _, ri := range parent.rowIdx {
+		row := d.rows[ri]
+		child := right
+		if inLeft(row.tmpl) {
+			child = left
+		}
+		child.rowIdx = append(child.rowIdx, ri)
+		child.n++
+		cb := row.costs[d.best]
+		for j := 0; j < d.k; j++ {
+			c := row.costs[j]
+			if math.IsNaN(c) {
+				continue
+			}
+			child.sums[j] += c
+			child.sumsqs[j] += c * c
+			if !math.IsNaN(cb) {
+				child.cross[j] += cb * c
+			}
+		}
+	}
+
+	left.avgOver = d.avgOverhead(left.order)
+	right.avgOver = d.avgOverhead(right.order)
+	d.strata[dec.stratum] = left
+	d.strata = append(d.strata, right)
+	d.splits++
+
+	// Algorithm 1, line 8: top the children up to n_min samples each.
+	for _, child := range []*dStratum{left, right} {
+		want := d.opts.NMin
+		if want > child.size {
+			want = child.size
+		}
+		for child.n < want {
+			h := d.indexOf(child)
+			if !d.sampleFrom(h) {
+				break
+			}
+		}
+	}
+	d.chooseBest()
+}
+
+func (d *deltaSampler) indexOf(s *dStratum) int {
+	for h, x := range d.strata {
+		if x == s {
+			return h
+		}
+	}
+	return -1
+}
+
+// run executes Algorithm 1 and returns the result.
+func (d *deltaSampler) run(trace bool) *Result {
+	// Pilot phase: n_min per stratum (clamped to stratum size and budget).
+	// Strata are filled round-robin in a shuffled order so a
+	// budget-truncated pilot (fixed-budget mode with many strata) covers a
+	// random subset of every stratum instead of completing some strata and
+	// leaving others untouched — the latter would bias the estimator
+	// systematically across Monte-Carlo runs.
+	order := d.opts.RNG.Perm(len(d.strata))
+	for {
+		progress := false
+		for _, h := range order {
+			want := d.opts.NMin
+			if want > d.strata[h].size {
+				want = d.strata[h].size
+			}
+			if d.strata[h].n < want && d.sampleFrom(h) {
+				progress = true
+			}
+		}
+		if !progress {
+			break
+		}
+	}
+	d.chooseBest()
+
+	stable := 0
+	p, pair := d.prCS()
+	for {
+		if trace {
+			d.trace = append(d.trace, p)
+		}
+		if d.opts.MaxCalls <= 0 {
+			if p > d.opts.Alpha && d.sampled >= d.opts.MinSamples {
+				stable++
+				if stable >= d.opts.StabilityWindow {
+					break
+				}
+			} else {
+				stable = 0
+			}
+		}
+		d.eliminate(pair)
+		d.maybeSplit()
+		h := d.nextStratum()
+		if h < 0 || !d.sampleFrom(h) {
+			break // exhausted workload or budget
+		}
+		d.chooseBest()
+		p, pair = d.prCS()
+	}
+
+	if d.exhaustedAll() {
+		p = 1 // full census: the selection is exact
+	}
+	return &Result{
+		Best:           d.best,
+		PrCS:           p,
+		SampledQueries: d.sampled,
+		OptimizerCalls: d.o.Calls(),
+		Eliminated:     d.eliminatedFlags(),
+		Strata:         len(d.strata),
+		Splits:         d.splits,
+		PrCSTrace:      d.trace,
+	}
+}
+
+func (d *deltaSampler) exhaustedAll() bool {
+	for _, s := range d.strata {
+		if !s.exhausted() {
+			return false
+		}
+	}
+	return true
+}
+
+func (d *deltaSampler) eliminatedFlags() []bool {
+	out := make([]bool, d.k)
+	for j := range out {
+		out[j] = !d.alive[j]
+	}
+	return out
+}

@@ -1,0 +1,527 @@
+package sampling
+
+import (
+	"math"
+
+	"physdes/internal/stats"
+)
+
+// icStratum is one stratum of one configuration's stratification in the
+// Independent sampler. Unlike Delta Sampling, every configuration draws
+// its own sample and — per Section 5.1 — may maintain its own
+// stratification of the workload.
+type icStratum struct {
+	templates []int
+	size      int
+	order     []int // permuted query indices for this configuration
+	next      int
+	n         int
+	sum       float64
+	sumsq     float64
+	avgOver   float64
+}
+
+func (s *icStratum) exhausted() bool { return s.next >= len(s.order) }
+
+// cfgState is one configuration's sampling state.
+type cfgState struct {
+	strata []*icStratum
+	splits int
+}
+
+// independentSampler runs Algorithm 1 with Independent Sampling
+// (Section 4.1): one sample stream per configuration, and a per-
+// configuration progressive stratification (Algorithm 2 runs only for the
+// configuration the last sample was chosen from, as the paper prescribes).
+type independentSampler struct {
+	o    Oracle
+	opts Options
+	pop  *population
+
+	k, n       int
+	alive      []bool
+	aliveCount int
+	elimPen    float64
+
+	cfg []cfgState
+
+	// Per-template per-configuration statistics for split decisions.
+	tCount [][]int
+	tSum   [][]float64
+	tSumsq [][]float64
+
+	best        int
+	sampled     int
+	lastSampled int // configuration index of the last sample
+	trace       []float64
+}
+
+func newIndependentSampler(o Oracle, opts Options) *independentSampler {
+	k, n := o.K(), o.N()
+	tc := maxInt(opts.TemplateCount, 1)
+	s := &independentSampler{
+		o: o, opts: opts,
+		pop:        newPopulation(opts.TemplateIndex, opts.TemplateCount, n),
+		k:          k,
+		n:          n,
+		alive:      make([]bool, k),
+		aliveCount: k,
+		cfg:        make([]cfgState, k),
+		tCount:     make([][]int, tc),
+		tSum:       make([][]float64, tc),
+		tSumsq:     make([][]float64, tc),
+	}
+	for j := range s.alive {
+		s.alive[j] = true
+	}
+	for t := 0; t < tc; t++ {
+		s.tCount[t] = make([]int, k)
+		s.tSum[t] = make([]float64, k)
+		s.tSumsq[t] = make([]float64, k)
+	}
+	for j := 0; j < k; j++ {
+		for _, tmpls := range s.pop.initialTemplates(opts.Strat) {
+			s.addStratum(j, tmpls)
+		}
+	}
+	return s
+}
+
+func (s *independentSampler) addStratum(j int, templates []int) *icStratum {
+	order := s.pop.shuffledMembers(templates, s.opts.RNG)
+	st := &icStratum{
+		templates: templates,
+		size:      len(order),
+		order:     order,
+		avgOver:   1,
+	}
+	if s.opts.CallCost != nil && st.size > 0 {
+		var sum float64
+		for _, q := range order {
+			sum += s.opts.CallCost(q)
+		}
+		if avg := sum / float64(st.size); avg > 0 {
+			st.avgOver = avg
+		}
+	}
+	s.cfg[j].strata = append(s.cfg[j].strata, st)
+	return st
+}
+
+func (s *independentSampler) budgetLeft() bool {
+	if s.opts.MaxCalls <= 0 {
+		return true
+	}
+	return s.o.Calls() < s.opts.MaxCalls
+}
+
+// sampleFrom draws configuration j's next query from its stratum h.
+func (s *independentSampler) sampleFrom(j, h int) bool {
+	st := s.cfg[j].strata[h]
+	if st.exhausted() || !s.budgetLeft() {
+		return false
+	}
+	q := st.order[st.next]
+	st.next++
+	st.n++
+	s.sampled++
+	s.lastSampled = j
+
+	c := s.o.Cost(q, j)
+	st.sum += c
+	st.sumsq += c * c
+	tmpl := 0
+	if s.opts.TemplateIndex != nil {
+		tmpl = s.opts.TemplateIndex[q]
+	}
+	s.tCount[tmpl][j]++
+	s.tSum[tmpl][j] += c
+	s.tSumsq[tmpl][j] += c * c
+	return true
+}
+
+// estimate returns X_j = Σ_h |WL_h|·mean_h over configuration j's strata,
+// with the global-mean fallback for unsampled strata.
+func (s *independentSampler) estimate(j int) float64 {
+	var gSum float64
+	gN := 0
+	for _, st := range s.cfg[j].strata {
+		gSum += st.sum
+		gN += st.n
+	}
+	gMean := 0.0
+	if gN > 0 {
+		gMean = gSum / float64(gN)
+	}
+	var x float64
+	for _, st := range s.cfg[j].strata {
+		if st.n > 0 {
+			x += float64(st.size) * (st.sum / float64(st.n))
+		} else {
+			x += float64(st.size) * gMean
+		}
+	}
+	return x
+}
+
+// estVar returns Var(X_j) per Equation 5 over configuration j's strata.
+func (s *independentSampler) estVar(j int) float64 {
+	var gSum, gSumsq float64
+	gN := 0
+	for _, st := range s.cfg[j].strata {
+		gSum += st.sum
+		gSumsq += st.sumsq
+		gN += st.n
+	}
+	gVar, _ := sampleVarFromSums(gSum, gSumsq, gN)
+	boundS2, haveBound := 0.0, false
+	if bound := s.opts.VarianceBound; bound != nil {
+		boundS2, haveBound = bound([2]int{j, j}, gN)
+	}
+	if haveBound && boundS2 > gVar {
+		gVar = boundS2
+	}
+	var v float64
+	for _, st := range s.cfg[j].strata {
+		if st.n >= st.size {
+			continue
+		}
+		nEff := st.n
+		var s2 float64
+		if nEff >= 2 {
+			s2, _ = sampleVarFromSums(st.sum, st.sumsq, nEff)
+		} else {
+			s2 = gVar
+			if nEff == 0 {
+				nEff = 1
+			}
+		}
+		if haveBound && boundS2 > s2 {
+			s2 = boundS2
+		}
+		W := float64(st.size)
+		v += W * W * s2 / float64(nEff) * (1 - float64(st.n)/W)
+	}
+	return v
+}
+
+func (s *independentSampler) prCS() (float64, []float64) {
+	xb := s.estimate(s.best)
+	vb := s.estVar(s.best)
+	pair := make([]float64, s.k)
+	p := 1 - s.elimPen
+	for j := 0; j < s.k; j++ {
+		if j == s.best || !s.alive[j] {
+			continue
+		}
+		gap := s.estimate(j) - xb
+		se := math.Sqrt(math.Max(vb+s.estVar(j), 0))
+		pij := stats.PairwisePrCS(gap, s.opts.Delta, se)
+		pair[j] = pij
+		p -= 1 - pij
+	}
+	if p < 0 {
+		p = 0
+	}
+	if p > 1 {
+		p = 1
+	}
+	return p, pair
+}
+
+func (s *independentSampler) chooseBest() {
+	best := -1
+	var bx float64
+	for j := 0; j < s.k; j++ {
+		if !s.alive[j] {
+			continue
+		}
+		x := s.estimate(j)
+		if best < 0 || x < bx {
+			best, bx = j, x
+		}
+	}
+	if best >= 0 {
+		s.best = best
+	}
+}
+
+func (s *independentSampler) eliminate(pair []float64) {
+	th := s.opts.EliminationThreshold
+	if th <= 0 {
+		return
+	}
+	if s.sampled < 2*s.opts.NMin*s.k {
+		return // see the Delta sampler's elimination guard
+	}
+	for j := 0; j < s.k; j++ {
+		if j == s.best || !s.alive[j] {
+			continue
+		}
+		if pair[j] > th {
+			s.alive[j] = false
+			s.aliveCount--
+			s.elimPen += 1 - pair[j]
+		}
+	}
+}
+
+// nextSample picks the (configuration, stratum) pair whose extra sample
+// most reduces Σᵢ Var(Xᵢ) per unit of optimization overhead (Section
+// 5.2). EqualAlloc keeps per-stratum counts level, cycling configurations.
+func (s *independentSampler) nextSample() (j, h int) {
+	if s.opts.Strat == EqualAlloc {
+		bestJ, bestH, bestN := -1, -1, 0
+		for ji := 0; ji < s.k; ji++ {
+			if !s.alive[ji] {
+				continue
+			}
+			for hi, st := range s.cfg[ji].strata {
+				if st.exhausted() {
+					continue
+				}
+				if bestJ < 0 || st.n < bestN {
+					bestJ, bestH, bestN = ji, hi, st.n
+				}
+			}
+		}
+		return bestJ, bestH
+	}
+	bestJ, bestH := -1, -1
+	var bestDrop float64
+	for ji := 0; ji < s.k; ji++ {
+		if !s.alive[ji] {
+			continue
+		}
+		for hi, st := range s.cfg[ji].strata {
+			if st.exhausted() {
+				continue
+			}
+			if st.n < 2 {
+				return ji, hi
+			}
+			s2, ok := sampleVarFromSums(st.sum, st.sumsq, st.n)
+			if !ok {
+				continue
+			}
+			W := float64(st.size)
+			n := float64(st.n)
+			cur := W * W * s2 / n * (1 - n/W)
+			nxt := W * W * s2 / (n + 1) * (1 - (n+1)/W)
+			drop := (cur - nxt) / st.avgOver
+			if bestJ < 0 || drop > bestDrop {
+				bestJ, bestH, bestDrop = ji, hi, drop
+			}
+		}
+	}
+	return bestJ, bestH
+}
+
+// maybeSplit runs Algorithm 2 for the configuration of the last sample,
+// against that configuration's own stratification.
+func (s *independentSampler) maybeSplit() {
+	if s.opts.Strat != Progressive {
+		return
+	}
+	ci := s.lastSampled
+	if !s.alive[ci] {
+		return
+	}
+	perPair := 1 - (1-s.opts.Alpha)/float64(maxInt(s.aliveCount-1, 1))
+	// Target variance for configuration ci: half of the pair target against
+	// the incumbent (the pair variance is the sum of two estimator
+	// variances in Equation 2).
+	other := s.best
+	if ci == s.best {
+		// Use the worst alive pair instead.
+		_, pair := s.prCS()
+		worstP := 2.0
+		for j := 0; j < s.k; j++ {
+			if j == s.best || !s.alive[j] {
+				continue
+			}
+			if pair[j] < worstP {
+				worstP = pair[j]
+				other = j
+			}
+		}
+		if other == s.best {
+			return
+		}
+	}
+	gap := math.Abs(s.estimate(other) - s.estimate(s.best))
+	targetVar := stats.TargetVarianceForPrCS(gap, s.opts.Delta, perPair) / 2
+	if math.IsInf(targetVar, 1) {
+		return
+	}
+
+	strata := s.cfg[ci].strata
+	cur := make([]stats.Stratum, len(strata))
+	tmplStats := make([][]tmplStat, len(strata))
+	for h, st := range strata {
+		s2, _ := sampleVarFromSums(st.sum, st.sumsq, st.n)
+		cur[h] = stats.Stratum{Size: st.size, S2: s2, Taken: st.n}
+		tmplStats[h] = s.stratumTmplStats(st, ci)
+	}
+	dec, ok := findBestSplit(cur, tmplStats, targetVar, s.opts.NMin)
+	if !ok {
+		return
+	}
+	s.applySplit(ci, dec)
+}
+
+func (s *independentSampler) stratumTmplStats(st *icStratum, ci int) []tmplStat {
+	out := make([]tmplStat, 0, len(st.templates))
+	for _, t := range st.templates {
+		if s.tCount[t][ci] < s.opts.MinTemplateObs {
+			return nil
+		}
+		n := s.tCount[t][ci]
+		m := s.tSum[t][ci] / float64(n)
+		v, _ := sampleVarFromSums(s.tSum[t][ci], s.tSumsq[t][ci], n)
+		out = append(out, tmplStat{t: t, w: s.pop.templateSize(t), m: m, v: v})
+	}
+	return out
+}
+
+// applySplit replaces configuration ci's stratum with its two children.
+// The Independent sampler keeps no per-row history, so each child restarts
+// its accumulators and receives a fresh pilot — a conservative
+// simplification that charges the split's cost explicitly.
+func (s *independentSampler) applySplit(ci int, dec splitDecision) {
+	strata := s.cfg[ci].strata
+	parent := strata[dec.stratum]
+	leftSet := make(map[int]bool, len(dec.left))
+	for _, t := range dec.left {
+		leftSet[t] = true
+	}
+	var rightTmpls []int
+	for _, t := range parent.templates {
+		if !leftSet[t] {
+			rightTmpls = append(rightTmpls, t)
+		}
+	}
+	// Remove the parent, add children with fresh orders.
+	strata[dec.stratum] = strata[len(strata)-1]
+	s.cfg[ci].strata = strata[:len(strata)-1]
+	left := s.addStratum(ci, dec.left)
+	right := s.addStratum(ci, rightTmpls)
+	s.cfg[ci].splits++
+
+	for _, child := range []*icStratum{left, right} {
+		want := s.opts.NMin
+		if want > child.size {
+			want = child.size
+		}
+		h := s.stratumIndex(ci, child)
+		for child.n < want {
+			if !s.sampleFrom(ci, h) {
+				break
+			}
+		}
+	}
+	s.chooseBest()
+}
+
+func (s *independentSampler) stratumIndex(ci int, st *icStratum) int {
+	for h, x := range s.cfg[ci].strata {
+		if x == st {
+			return h
+		}
+	}
+	return -1
+}
+
+func (s *independentSampler) run(trace bool) *Result {
+	// Pilot: round-robin over shuffled (configuration, stratum) slots so a
+	// truncated pilot spreads evenly (see the Delta sampler's pilot note).
+	order := s.opts.RNG.Perm(s.k)
+	for {
+		progress := false
+		for _, j := range order {
+			for h := range s.cfg[j].strata {
+				st := s.cfg[j].strata[h]
+				want := s.opts.NMin
+				if want > st.size {
+					want = st.size
+				}
+				if st.n < want && s.sampleFrom(j, h) {
+					progress = true
+				}
+			}
+		}
+		if !progress {
+			break
+		}
+	}
+	s.chooseBest()
+
+	stable := 0
+	p, pair := s.prCS()
+	for {
+		if trace {
+			s.trace = append(s.trace, p)
+		}
+		if s.opts.MaxCalls <= 0 {
+			if p > s.opts.Alpha && s.sampled >= s.opts.MinSamples {
+				stable++
+				if stable >= s.opts.StabilityWindow {
+					break
+				}
+			} else {
+				stable = 0
+			}
+		}
+		s.eliminate(pair)
+		s.maybeSplit()
+		j, h := s.nextSample()
+		if j < 0 || !s.sampleFrom(j, h) {
+			break
+		}
+		s.chooseBest()
+		p, pair = s.prCS()
+	}
+
+	if s.exhaustedAll() {
+		p = 1
+	}
+	strataCount, splits := 0, 0
+	for j := 0; j < s.k; j++ {
+		if len(s.cfg[j].strata) > strataCount {
+			strataCount = len(s.cfg[j].strata)
+		}
+		splits += s.cfg[j].splits
+	}
+	return &Result{
+		Best:           s.best,
+		PrCS:           p,
+		SampledQueries: s.sampled,
+		OptimizerCalls: s.o.Calls(),
+		Eliminated:     s.eliminatedFlags(),
+		Strata:         strataCount,
+		Splits:         splits,
+		PrCSTrace:      s.trace,
+	}
+}
+
+func (s *independentSampler) exhaustedAll() bool {
+	for j := 0; j < s.k; j++ {
+		if !s.alive[j] {
+			continue
+		}
+		for _, st := range s.cfg[j].strata {
+			if !st.exhausted() {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+func (s *independentSampler) eliminatedFlags() []bool {
+	out := make([]bool, s.k)
+	for j := range out {
+		out[j] = !s.alive[j]
+	}
+	return out
+}

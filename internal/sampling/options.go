@@ -1,0 +1,176 @@
+package sampling
+
+import (
+	"errors"
+	"fmt"
+
+	"physdes/internal/stats"
+)
+
+// Scheme selects the sampling scheme of Section 4.
+type Scheme int
+
+// Sampling schemes.
+const (
+	// Independent draws a separate sample per configuration (Section 4.1).
+	Independent Scheme = iota
+	// Delta draws one shared sample and estimates cost differences
+	// directly (Section 4.2).
+	Delta
+)
+
+func (s Scheme) String() string {
+	switch s {
+	case Independent:
+		return "independent"
+	case Delta:
+		return "delta"
+	}
+	return fmt.Sprintf("Scheme(%d)", int(s))
+}
+
+// StratMode selects the stratification policy of Section 5.
+type StratMode int
+
+// Stratification modes.
+const (
+	// NoStrat keeps a single stratum.
+	NoStrat StratMode = iota
+	// Progressive refines the stratification greedily as sampling
+	// progresses (Algorithm 2).
+	Progressive
+	// Fine starts with one stratum per template (the straw-man of
+	// Figure 2).
+	Fine
+	// EqualAlloc keeps per-template strata but allocates the same number
+	// of samples to every stratum — the "Equal Alloc." baseline of
+	// Tables 2 and 3.
+	EqualAlloc
+)
+
+func (m StratMode) String() string {
+	switch m {
+	case NoStrat:
+		return "none"
+	case Progressive:
+		return "progressive"
+	case Fine:
+		return "fine"
+	case EqualAlloc:
+		return "equal-alloc"
+	}
+	return fmt.Sprintf("StratMode(%d)", int(m))
+}
+
+// Options configures a configuration-selection run (Algorithm 1).
+type Options struct {
+	Scheme Scheme
+	Strat  StratMode
+
+	// Alpha is the target probability of correct selection.
+	Alpha float64
+	// Delta is the cost sensitivity δ: differences below it need not be
+	// detected.
+	Delta float64
+	// NMin is the pilot sample size per stratum (default stats.NMin = 30).
+	NMin int
+	// StabilityWindow requires Pr(CS) > α to hold for this many
+	// consecutive samples before termination (Section 7.2 uses 10;
+	// default 1).
+	StabilityWindow int
+	// EliminationThreshold drops configurations whose pairwise Pr(CS)
+	// exceeds it from future sampling (Section 7.2 uses 0.995; 0 disables).
+	EliminationThreshold float64
+	// MaxCalls, when positive, runs in fixed-budget mode: sampling stops
+	// after this many optimizer calls regardless of Pr(CS) — the protocol
+	// of the Monte-Carlo experiments (Figures 1–4).
+	MaxCalls int64
+	// MinSamples, when positive, forbids adaptive termination before this
+	// many queries have been sampled — the hook for the CLT sample-size
+	// requirement of Equation 9 (conservative mode).
+	MinSamples int
+	// RNG drives all randomness; required.
+	RNG *stats.RNG
+
+	// TemplateIndex maps each query to a dense template index; required
+	// for any stratification mode (see workload.TemplateIndexOf).
+	TemplateIndex []int
+	// TemplateCount is the number of distinct templates.
+	TemplateCount int
+
+	// MinTemplateObs is the number of sampled observations a template
+	// needs before its average cost participates in split decisions
+	// (default 2).
+	MinTemplateObs int
+
+	// VarianceBound, when non-nil, substitutes a conservative upper bound
+	// for the sample variance of the difference estimator (Section 6.2's
+	// σ²_max), making Pr(CS) conservative. It is consulted per pair with
+	// the pair's sample size.
+	VarianceBound func(pair [2]int, n int) (s2 float64, ok bool)
+
+	// CallCost, when non-nil, gives the relative optimization overhead of
+	// evaluating query q (Section 5.2's non-constant optimization times):
+	// sample allocation then maximizes variance reduction per unit of
+	// overhead instead of per call. Termination budgets (MaxCalls) still
+	// count calls.
+	CallCost func(q int) float64
+}
+
+func (o Options) withDefaults() Options {
+	if o.Alpha == 0 {
+		o.Alpha = 0.9
+	}
+	if o.NMin == 0 {
+		o.NMin = stats.NMin
+	}
+	if o.StabilityWindow <= 0 {
+		o.StabilityWindow = 1
+	}
+	if o.MinTemplateObs <= 0 {
+		o.MinTemplateObs = 2
+	}
+	return o
+}
+
+func (o Options) validate(oracle Oracle) error {
+	if o.RNG == nil {
+		return errors.New("sampling: Options.RNG is required")
+	}
+	if oracle.K() < 2 {
+		return errors.New("sampling: need at least two configurations")
+	}
+	if oracle.N() < 1 {
+		return errors.New("sampling: empty workload")
+	}
+	if o.Strat != NoStrat {
+		if len(o.TemplateIndex) != oracle.N() || o.TemplateCount <= 0 {
+			return errors.New("sampling: stratification requires TemplateIndex/TemplateCount")
+		}
+	}
+	return nil
+}
+
+// Result reports a selection run.
+type Result struct {
+	// Best is the selected configuration index.
+	Best int
+	// PrCS is the estimated probability of correct selection at
+	// termination.
+	PrCS float64
+	// SampledQueries is the number of distinct query evaluations performed
+	// (Delta counts each sampled query once even though it is costed in
+	// every configuration).
+	SampledQueries int
+	// OptimizerCalls is the number of what-if calls consumed.
+	OptimizerCalls int64
+	// Eliminated flags configurations dropped by the elimination
+	// optimization.
+	Eliminated []bool
+	// Strata is the number of strata at termination.
+	Strata int
+	// Splits is the number of progressive splits performed.
+	Splits int
+	// PrCSTrace, when tracing was enabled, holds Pr(CS) after each sample.
+	PrCSTrace []float64
+}

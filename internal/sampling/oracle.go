@@ -1,0 +1,90 @@
+// Package sampling implements the paper's estimation machinery: Independent
+// Sampling (Section 4.1), Delta Sampling (Section 4.2), the probability of
+// correct selection Pr(CS) with the Bonferroni multi-way bound (Equation 3),
+// workload stratification with the progressive splitting search of
+// Algorithm 2 (Section 5.1), and the next-sample allocation heuristics of
+// Section 5.2.
+//
+// The samplers consume costs through an Oracle so that the same code runs
+// against a live what-if optimizer and against a precomputed cost matrix
+// (the Monte-Carlo harness). Every cost retrieval is accounted as one
+// optimizer call — the resource the paper minimizes.
+package sampling
+
+import (
+	"sync/atomic"
+
+	"physdes/internal/optimizer"
+	"physdes/internal/physical"
+	"physdes/internal/workload"
+)
+
+// Oracle supplies optimizer-estimated costs of (query, configuration)
+// pairs and tracks how many were requested.
+type Oracle interface {
+	// Cost returns the cost of query i under configuration j, charging one
+	// optimizer call.
+	Cost(i, j int) float64
+	// N returns the workload size.
+	N() int
+	// K returns the number of configurations.
+	K() int
+	// Calls returns the number of optimizer calls charged so far.
+	Calls() int64
+}
+
+// MatrixOracle replays a precomputed cost matrix, charging synthetic calls.
+type MatrixOracle struct {
+	M     *workload.CostMatrix
+	calls atomic.Int64
+}
+
+// NewMatrixOracle wraps a cost matrix.
+func NewMatrixOracle(m *workload.CostMatrix) *MatrixOracle {
+	return &MatrixOracle{M: m}
+}
+
+// Cost implements Oracle.
+func (o *MatrixOracle) Cost(i, j int) float64 {
+	o.calls.Add(1)
+	return o.M.Costs[i][j]
+}
+
+// N implements Oracle.
+func (o *MatrixOracle) N() int { return o.M.N() }
+
+// K implements Oracle.
+func (o *MatrixOracle) K() int { return o.M.K() }
+
+// Calls implements Oracle.
+func (o *MatrixOracle) Calls() int64 { return o.calls.Load() }
+
+// ResetCalls zeroes the counter.
+func (o *MatrixOracle) ResetCalls() { o.calls.Store(0) }
+
+// LiveOracle evaluates costs through a what-if optimizer on demand, caching
+// nothing: each request is a real optimizer call.
+type LiveOracle struct {
+	Opt      *optimizer.Optimizer
+	Workload *workload.Workload
+	Configs  []*physical.Configuration
+}
+
+// NewLiveOracle builds a live oracle.
+func NewLiveOracle(opt *optimizer.Optimizer, w *workload.Workload, configs []*physical.Configuration) *LiveOracle {
+	return &LiveOracle{Opt: opt, Workload: w, Configs: configs}
+}
+
+// Cost implements Oracle.
+func (o *LiveOracle) Cost(i, j int) float64 {
+	return o.Opt.Cost(o.Workload.Queries[i].Analysis, o.Configs[j])
+}
+
+// N implements Oracle.
+func (o *LiveOracle) N() int { return o.Workload.Size() }
+
+// K implements Oracle.
+func (o *LiveOracle) K() int { return len(o.Configs) }
+
+// Calls implements Oracle.
+func (o *LiveOracle) Calls() int64 { return o.Opt.Calls() }

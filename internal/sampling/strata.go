@@ -1,0 +1,183 @@
+package sampling
+
+import (
+	"sort"
+
+	"physdes/internal/stats"
+)
+
+// population partitions the workload's query indices by template.
+type population struct {
+	n          int
+	byTemplate [][]int // template index → query indices
+}
+
+func newPopulation(templateIndex []int, templateCount, n int) *population {
+	p := &population{n: n, byTemplate: make([][]int, templateCount)}
+	if templateIndex == nil {
+		// Single implicit template covering everything.
+		all := make([]int, n)
+		for i := range all {
+			all[i] = i
+		}
+		p.byTemplate = [][]int{all}
+		return p
+	}
+	for q, t := range templateIndex {
+		p.byTemplate[t] = append(p.byTemplate[t], q)
+	}
+	return p
+}
+
+func (p *population) templateSize(t int) int { return len(p.byTemplate[t]) }
+
+// initialTemplates returns the template partition for the starting
+// stratification of a mode: one stratum of all templates (NoStrat /
+// Progressive) or one stratum per non-empty template (Fine / EqualAlloc).
+func (p *population) initialTemplates(mode StratMode) [][]int {
+	switch mode {
+	case Fine, EqualAlloc:
+		var out [][]int
+		for t := range p.byTemplate {
+			if len(p.byTemplate[t]) > 0 {
+				out = append(out, []int{t})
+			}
+		}
+		return out
+	default:
+		var all []int
+		for t := range p.byTemplate {
+			if len(p.byTemplate[t]) > 0 {
+				all = append(all, t)
+			}
+		}
+		return [][]int{all}
+	}
+}
+
+// shuffledMembers returns a random permutation of the queries belonging to
+// the given templates — the sampling order of a stratum.
+func (p *population) shuffledMembers(templates []int, rng *stats.RNG) []int {
+	var out []int
+	for _, t := range templates {
+		out = append(out, p.byTemplate[t]...)
+	}
+	rng.Shuffle(len(out), func(i, j int) { out[i], out[j] = out[j], out[i] })
+	return out
+}
+
+// tmplStat summarizes one template inside a stratum for split search:
+// population size w, estimated mean cost m and within-template variance v
+// of the estimator variable (a configuration's cost for Independent
+// Sampling, a cost difference for Delta Sampling).
+type tmplStat struct {
+	t    int
+	w    int
+	m, v float64
+}
+
+// setS2 estimates S² of a union of templates from their per-template means
+// and within-variances, via the variance decomposition
+// σ² = E[within] + Var(between).
+func setS2(ts []tmplStat) float64 {
+	var W float64
+	var wm, wsq float64
+	for _, s := range ts {
+		w := float64(s.w)
+		W += w
+		wm += w * s.m
+		wsq += w * (s.m*s.m + s.v)
+	}
+	if W <= 1 {
+		return 0
+	}
+	mean := wm / W
+	popVar := wsq/W - mean*mean
+	if popVar < 0 {
+		popVar = 0
+	}
+	return popVar * W / (W - 1)
+}
+
+// splitDecision is the outcome of one Algorithm 2 search.
+type splitDecision struct {
+	stratum int   // index of the stratum to split
+	left    []int // template indices of the first child (ordered by mean)
+	gain    int   // min_sam − sam[t]: projected sample savings
+}
+
+// findBestSplit implements Algorithm 2 (Section 5.1): over all strata whose
+// expected allocation is at least 2·n_min and whose member templates all
+// have cost estimates, order the templates by average cost and evaluate
+// every split point's projected #Samples; return the best strict
+// improvement, or ok=false.
+//
+// curStrata mirrors the live strata (sizes and current S² estimates);
+// tmplStats[h] lists the per-template statistics of stratum h, or nil when
+// the stratum lacks estimates for some member template.
+func findBestSplit(curStrata []stats.Stratum, tmplStats [][]tmplStat, targetVar float64, nmin int) (splitDecision, bool) {
+	minSam := stats.MinSamplesForVariance(curStrata, targetVar, nmin)
+	alloc := stats.NeymanAllocation(curStrata, minSam, nmin)
+
+	best := splitDecision{stratum: -1}
+	for h := range curStrata {
+		ts := tmplStats[h]
+		if len(ts) < 2 {
+			continue
+		}
+		if alloc[h] < 2*nmin {
+			continue
+		}
+		// Order the stratum's templates by average cost (Algorithm 2,
+		// line 9).
+		ordered := append([]tmplStat(nil), ts...)
+		sort.Slice(ordered, func(i, j int) bool {
+			if ordered[i].m != ordered[j].m {
+				return ordered[i].m < ordered[j].m
+			}
+			return ordered[i].t < ordered[j].t
+		})
+
+		// Candidate strata array with stratum h replaced by two children;
+		// children sit at positions h and len(curStrata).
+		cand := make([]stats.Stratum, len(curStrata)+1)
+		copy(cand, curStrata)
+		for split := 1; split < len(ordered); split++ {
+			left, right := ordered[:split], ordered[split:]
+			lSize, rSize := 0, 0
+			for _, s := range left {
+				lSize += s.w
+			}
+			for _, s := range right {
+				rSize += s.w
+			}
+			cand[h] = stats.Stratum{Size: lSize, S2: setS2(left)}
+			cand[len(curStrata)] = stats.Stratum{Size: rSize, S2: setS2(right)}
+			sam := stats.MinSamplesForVariance(cand, targetVar, nmin)
+			if gain := minSam - sam; gain > best.gain {
+				lt := make([]int, len(left))
+				for i, s := range left {
+					lt[i] = s.t
+				}
+				best = splitDecision{stratum: h, left: lt, gain: gain}
+			}
+		}
+	}
+	if best.stratum < 0 || best.gain <= 0 {
+		return splitDecision{}, false
+	}
+	return best, true
+}
+
+// sampleVarFromSums converts accumulated Σx and Σx² over n observations
+// into the unbiased sample variance; it returns (0, false) for n < 2.
+func sampleVarFromSums(sum, sumsq float64, n int) (float64, bool) {
+	if n < 2 {
+		return 0, false
+	}
+	v := (sumsq - sum*sum/float64(n)) / float64(n-1)
+	if v < 0 {
+		v = 0
+	}
+	return v, true
+}

@@ -1,0 +1,247 @@
+package sqlparse
+
+import (
+	"strings"
+	"testing"
+)
+
+// testResolver maps unqualified columns via TPC-style prefixes.
+func testResolver(col string) (string, bool) {
+	switch {
+	case strings.HasPrefix(col, "l_"):
+		return "lineitem", true
+	case strings.HasPrefix(col, "o_"):
+		return "orders", true
+	case strings.HasPrefix(col, "c_"):
+		return "customer", true
+	}
+	return "", false
+}
+
+func analyzeSrc(t *testing.T, src string) *Analysis {
+	t.Helper()
+	s := mustParse(t, src)
+	a, err := Analyze(s, testResolver)
+	if err != nil {
+		t.Fatalf("Analyze(%q): %v", src, err)
+	}
+	return a
+}
+
+func TestAnalyzeSelectBasics(t *testing.T) {
+	a := analyzeSrc(t, "SELECT l_qty FROM lineitem WHERE l_price > 100 AND l_flag = 'A'")
+	if a.Kind != KindSelect || a.Kind.IsUpdate() {
+		t.Errorf("kind = %v", a.Kind)
+	}
+	if len(a.Tables) != 1 || a.Tables[0] != "lineitem" {
+		t.Errorf("tables = %v", a.Tables)
+	}
+	if len(a.Preds) != 2 {
+		t.Fatalf("preds = %+v", a.Preds)
+	}
+	var haveRange, haveEq bool
+	for _, p := range a.Preds {
+		switch p.Kind {
+		case PredRange:
+			haveRange = true
+			if !p.HasLo || p.Lo != 100 || p.HasHi {
+				t.Errorf("range endpoints wrong: %+v", p)
+			}
+		case PredEq:
+			haveEq = true
+			if p.EqValue.Str != "'A'" {
+				t.Errorf("eq value wrong: %+v", p)
+			}
+		}
+		if p.InDisjunction {
+			t.Errorf("conjunctive predicate marked disjunctive: %+v", p)
+		}
+	}
+	if !haveRange || !haveEq {
+		t.Errorf("missing predicate kinds: %+v", a.Preds)
+	}
+}
+
+func TestAnalyzeReversedComparison(t *testing.T) {
+	// literal op column must normalize with the flipped operator.
+	a := analyzeSrc(t, "SELECT l_qty FROM lineitem WHERE 100 < l_price")
+	p := a.Preds[0]
+	if p.Kind != PredRange || !p.HasLo || p.Lo != 100 || p.HasHi {
+		t.Errorf("flip failed: %+v", p)
+	}
+}
+
+func TestAnalyzeJoins(t *testing.T) {
+	a := analyzeSrc(t, "SELECT o.o_date FROM orders o, lineitem l WHERE o.o_id = l.l_oid AND l.l_qty > 5")
+	if len(a.Joins) != 1 {
+		t.Fatalf("joins = %+v", a.Joins)
+	}
+	j := a.Joins[0]
+	// Canonical ordering sorts lineitem before orders.
+	if j.Left.Table != "lineitem" || j.Left.Column != "l_oid" ||
+		j.Right.Table != "orders" || j.Right.Column != "o_id" {
+		t.Errorf("join = %+v", j)
+	}
+	if j.JoinKey() != "lineitem|l_oid|orders|o_id" {
+		t.Errorf("JoinKey = %q", j.JoinKey())
+	}
+	if len(a.Tables) != 2 {
+		t.Errorf("tables = %v", a.Tables)
+	}
+}
+
+func TestAnalyzeExplicitJoinEquivalent(t *testing.T) {
+	a1 := analyzeSrc(t, "SELECT o.o_date FROM orders o, lineitem l WHERE o.o_id = l.l_oid")
+	a2 := analyzeSrc(t, "SELECT o.o_date FROM orders o JOIN lineitem l ON o.o_id = l.l_oid")
+	if len(a1.Joins) != 1 || len(a2.Joins) != 1 || a1.Joins[0] != a2.Joins[0] {
+		t.Errorf("join forms disagree: %+v vs %+v", a1.Joins, a2.Joins)
+	}
+}
+
+func TestAnalyzeDisjunction(t *testing.T) {
+	a := analyzeSrc(t, "SELECT l_qty FROM lineitem WHERE l_price > 100 OR l_flag = 'A'")
+	if !a.HasDisjunction {
+		t.Error("HasDisjunction not set")
+	}
+	for _, p := range a.Preds {
+		if !p.InDisjunction {
+			t.Errorf("predicate under OR not flagged: %+v", p)
+		}
+	}
+}
+
+func TestAnalyzeNotMarksDisjunction(t *testing.T) {
+	a := analyzeSrc(t, "SELECT l_qty FROM lineitem WHERE NOT l_price > 100")
+	if !a.HasDisjunction || !a.Preds[0].InDisjunction {
+		t.Error("NOT should make predicates residual")
+	}
+}
+
+func TestAnalyzeBetweenInLike(t *testing.T) {
+	a := analyzeSrc(t, "SELECT l_qty FROM lineitem WHERE l_price BETWEEN 10 AND 20 AND l_flag IN ('A', 'B', 'C') AND l_comment LIKE '%x%'")
+	kinds := map[PredKind]ColumnPredicate{}
+	for _, p := range a.Preds {
+		kinds[p.Kind] = p
+	}
+	if p, ok := kinds[PredRange]; !ok || p.Lo != 10 || p.Hi != 20 || !p.HasLo || !p.HasHi {
+		t.Errorf("between: %+v", p)
+	}
+	if p, ok := kinds[PredIn]; !ok || p.InCount != 3 {
+		t.Errorf("in: %+v", p)
+	}
+	if p, ok := kinds[PredLike]; !ok || p.LikePattern != "'%x%'" {
+		t.Errorf("like: %+v", p)
+	}
+}
+
+func TestAnalyzeGroupOrderReferenced(t *testing.T) {
+	a := analyzeSrc(t, "SELECT l_flag, SUM(l_price) FROM lineitem WHERE l_qty > 1 GROUP BY l_flag ORDER BY l_flag DESC")
+	if len(a.GroupBy) != 1 || a.GroupBy[0].Column != "l_flag" {
+		t.Errorf("groupby: %+v", a.GroupBy)
+	}
+	if len(a.OrderBy) != 1 || !a.OrderBy[0].Desc {
+		t.Errorf("orderby: %+v", a.OrderBy)
+	}
+	if !a.HasAggregate {
+		t.Error("aggregate flag lost")
+	}
+	// Referenced must be sorted & unique and include all three columns.
+	want := []string{"lineitem.l_flag", "lineitem.l_price", "lineitem.l_qty"}
+	if len(a.Referenced) != len(want) {
+		t.Fatalf("referenced: %+v", a.Referenced)
+	}
+	for i, tc := range a.Referenced {
+		if tc.String() != want[i] {
+			t.Errorf("referenced[%d] = %v, want %v", i, tc, want[i])
+		}
+	}
+}
+
+func TestAnalyzeUpdate(t *testing.T) {
+	a := analyzeSrc(t, "UPDATE lineitem SET l_price = 0, l_qty = 1 WHERE l_oid = 7")
+	if a.Kind != KindUpdate || !a.Kind.IsUpdate() {
+		t.Errorf("kind = %v", a.Kind)
+	}
+	if a.ModifiedTable != "lineitem" {
+		t.Errorf("table = %q", a.ModifiedTable)
+	}
+	if len(a.ModifiedCols) != 2 || a.ModifiedCols[0] != "l_price" || a.ModifiedCols[1] != "l_qty" {
+		t.Errorf("cols = %v", a.ModifiedCols)
+	}
+	if len(a.Preds) != 1 || a.Preds[0].Kind != PredEq {
+		t.Errorf("preds = %+v", a.Preds)
+	}
+}
+
+func TestAnalyzeUpdateTop(t *testing.T) {
+	a := analyzeSrc(t, "UPDATE TOP(42) lineitem SET l_price = 0")
+	if a.TopK != 42 {
+		t.Errorf("TopK = %v", a.TopK)
+	}
+}
+
+func TestAnalyzeInsertDelete(t *testing.T) {
+	ai := analyzeSrc(t, "INSERT INTO orders (o_id, o_date) VALUES (1, '1997-01-01')")
+	if ai.Kind != KindInsert || ai.ModifiedTable != "orders" || len(ai.ModifiedCols) != 2 {
+		t.Errorf("insert analysis: %+v", ai)
+	}
+	ad := analyzeSrc(t, "DELETE FROM orders WHERE o_id < 100")
+	if ad.Kind != KindDelete || ad.ModifiedTable != "orders" || len(ad.Preds) != 1 {
+		t.Errorf("delete analysis: %+v", ad)
+	}
+}
+
+func TestAnalyzeSelectStar(t *testing.T) {
+	a := analyzeSrc(t, "SELECT * FROM orders WHERE o_id = 1")
+	if !a.SelectStar {
+		t.Error("SelectStar not set")
+	}
+}
+
+func TestAnalyzeUnresolvableColumn(t *testing.T) {
+	s := mustParse(t, "SELECT mystery FROM a, b WHERE a.x = 1")
+	if _, err := Analyze(s, testResolver); err == nil {
+		t.Error("expected resolution error for ambiguous column")
+	}
+}
+
+func TestAnalyzeSingleTableUnqualified(t *testing.T) {
+	// With a single FROM table, unqualified columns resolve without help.
+	s := mustParse(t, "SELECT anything FROM sometable WHERE other = 1")
+	a, err := Analyze(s, nil)
+	if err != nil {
+		t.Fatalf("Analyze: %v", err)
+	}
+	if a.Preds[0].Col.Table != "sometable" {
+		t.Errorf("resolved to %q", a.Preds[0].Col.Table)
+	}
+}
+
+func TestAnalyzeNeqResidual(t *testing.T) {
+	a := analyzeSrc(t, "SELECT l_qty FROM lineitem WHERE l_flag <> 'X'")
+	if len(a.Preds) != 1 || a.Preds[0].Kind != PredNeq {
+		t.Errorf("preds = %+v", a.Preds)
+	}
+}
+
+func TestPredKindStrings(t *testing.T) {
+	names := map[PredKind]string{
+		PredEq: "eq", PredRange: "range", PredIn: "in",
+		PredLike: "like", PredNeq: "neq", PredIsNull: "isnull",
+	}
+	for k, want := range names {
+		if k.String() != want {
+			t.Errorf("%v.String() = %q", int(k), k.String())
+		}
+	}
+	if PredKind(99).String() == "" {
+		t.Error("unknown kind should still render")
+	}
+}
+
+func TestStmtKindStrings(t *testing.T) {
+	if KindSelect.String() != "SELECT" || KindUpdate.String() != "UPDATE" ||
+		KindInsert.String() != "INSERT" || KindDelete.String() != "DELETE" {
+		t.Error("StmtKind names wrong")
+	}
+}

@@ -1,0 +1,428 @@
+package sqlparse
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Statement is any parsed SQL statement.
+type Statement interface {
+	// render appends the statement's canonical SQL to b. When template is
+	// true all literals are rendered as '?' placeholders, producing the
+	// statement's template per Section 5 of the paper.
+	render(b *strings.Builder, template bool)
+	stmtNode()
+}
+
+// Expr is any scalar or boolean expression.
+type Expr interface {
+	render(b *strings.Builder, template bool)
+	exprNode()
+}
+
+// ColumnRef names a column, optionally qualified by a table or alias.
+type ColumnRef struct {
+	Table  string // optional qualifier
+	Column string
+}
+
+func (c *ColumnRef) exprNode() {}
+
+func (c *ColumnRef) render(b *strings.Builder, template bool) {
+	if c.Table != "" {
+		b.WriteString(c.Table)
+		b.WriteByte('.')
+	}
+	b.WriteString(c.Column)
+}
+
+// String returns the qualified column name.
+func (c *ColumnRef) String() string {
+	if c.Table != "" {
+		return c.Table + "." + c.Column
+	}
+	return c.Column
+}
+
+// LiteralKind discriminates literal types.
+type LiteralKind int
+
+// Literal kinds.
+const (
+	LitNumber LiteralKind = iota
+	LitString
+	LitNull
+)
+
+// Literal is a constant value. Literals are the parts replaced by
+// placeholders during template extraction.
+type Literal struct {
+	Kind LiteralKind
+	// Num holds the value for LitNumber.
+	Num float64
+	// Str holds the quoted source text for LitString (including quotes).
+	Str string
+}
+
+func (l *Literal) exprNode() {}
+
+func (l *Literal) render(b *strings.Builder, template bool) {
+	if template && l.Kind != LitNull {
+		b.WriteByte('?')
+		return
+	}
+	switch l.Kind {
+	case LitNumber:
+		fmt.Fprintf(b, "%g", l.Num)
+	case LitString:
+		b.WriteString(l.Str)
+	case LitNull:
+		b.WriteString("NULL")
+	}
+}
+
+// BinaryExpr is an arithmetic, comparison or boolean binary operation. Op is
+// the canonical operator text ("+", "*", "=", "<=", "AND", "OR", "LIKE", …).
+type BinaryExpr struct {
+	Op          string
+	Left, Right Expr
+}
+
+func (e *BinaryExpr) exprNode() {}
+
+func (e *BinaryExpr) render(b *strings.Builder, template bool) {
+	b.WriteByte('(')
+	e.Left.render(b, template)
+	b.WriteByte(' ')
+	b.WriteString(e.Op)
+	b.WriteByte(' ')
+	e.Right.render(b, template)
+	b.WriteByte(')')
+}
+
+// NotExpr negates a boolean expression.
+type NotExpr struct{ Inner Expr }
+
+func (e *NotExpr) exprNode() {}
+
+func (e *NotExpr) render(b *strings.Builder, template bool) {
+	b.WriteString("NOT (")
+	e.Inner.render(b, template)
+	b.WriteByte(')')
+}
+
+// BetweenExpr is `operand BETWEEN lo AND hi`.
+type BetweenExpr struct {
+	Operand Expr
+	Lo, Hi  Expr
+}
+
+func (e *BetweenExpr) exprNode() {}
+
+func (e *BetweenExpr) render(b *strings.Builder, template bool) {
+	b.WriteByte('(')
+	e.Operand.render(b, template)
+	b.WriteString(" BETWEEN ")
+	e.Lo.render(b, template)
+	b.WriteString(" AND ")
+	e.Hi.render(b, template)
+	b.WriteByte(')')
+}
+
+// InExpr is `operand IN (item, …)`.
+type InExpr struct {
+	Operand Expr
+	Items   []Expr
+}
+
+func (e *InExpr) exprNode() {}
+
+func (e *InExpr) render(b *strings.Builder, template bool) {
+	b.WriteByte('(')
+	e.Operand.render(b, template)
+	b.WriteString(" IN (")
+	for i, it := range e.Items {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		it.render(b, template)
+	}
+	b.WriteString("))")
+}
+
+// IsNullExpr is `operand IS [NOT] NULL`.
+type IsNullExpr struct {
+	Operand Expr
+	Negated bool
+}
+
+func (e *IsNullExpr) exprNode() {}
+
+func (e *IsNullExpr) render(b *strings.Builder, template bool) {
+	b.WriteByte('(')
+	e.Operand.render(b, template)
+	if e.Negated {
+		b.WriteString(" IS NOT NULL")
+	} else {
+		b.WriteString(" IS NULL")
+	}
+	b.WriteByte(')')
+}
+
+// FuncCall is an aggregate or scalar function call. Star marks COUNT(*).
+type FuncCall struct {
+	Name     string // canonical upper-case name
+	Distinct bool
+	Star     bool
+	Args     []Expr
+}
+
+func (e *FuncCall) exprNode() {}
+
+func (e *FuncCall) render(b *strings.Builder, template bool) {
+	b.WriteString(e.Name)
+	b.WriteByte('(')
+	if e.Distinct {
+		b.WriteString("DISTINCT ")
+	}
+	if e.Star {
+		b.WriteByte('*')
+	}
+	for i, a := range e.Args {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		a.render(b, template)
+	}
+	b.WriteByte(')')
+}
+
+// SelectItem is one entry of a select list.
+type SelectItem struct {
+	Expr  Expr   // nil for a bare '*'
+	Star  bool   // SELECT *
+	Alias string // optional AS alias
+}
+
+// TableRef is one entry of a FROM clause.
+type TableRef struct {
+	Name  string
+	Alias string // optional
+}
+
+// Binding returns the name the table is referred to by in the query
+// (the alias if present, else the table name).
+func (t TableRef) Binding() string {
+	if t.Alias != "" {
+		return t.Alias
+	}
+	return t.Name
+}
+
+// OrderItem is one ORDER BY entry.
+type OrderItem struct {
+	Expr Expr
+	Desc bool
+}
+
+// SelectStmt is a single-block SELECT.
+type SelectStmt struct {
+	Distinct bool
+	Items    []SelectItem
+	From     []TableRef
+	// JoinOn holds equality predicates from explicit JOIN … ON clauses;
+	// they are semantically merged with Where during analysis.
+	JoinOn  []Expr
+	Where   Expr // nil if absent
+	GroupBy []Expr
+	Having  Expr
+	OrderBy []OrderItem
+}
+
+func (s *SelectStmt) stmtNode() {}
+
+func (s *SelectStmt) render(b *strings.Builder, template bool) {
+	b.WriteString("SELECT ")
+	if s.Distinct {
+		b.WriteString("DISTINCT ")
+	}
+	for i, it := range s.Items {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		if it.Star {
+			b.WriteByte('*')
+		} else {
+			it.Expr.render(b, template)
+		}
+		if it.Alias != "" {
+			b.WriteString(" AS ")
+			b.WriteString(it.Alias)
+		}
+	}
+	b.WriteString(" FROM ")
+	for i, t := range s.From {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		b.WriteString(t.Name)
+		if t.Alias != "" {
+			b.WriteByte(' ')
+			b.WriteString(t.Alias)
+		}
+	}
+	// JOIN … ON predicates render inside WHERE in canonical form, ahead
+	// of the residual predicates (matching the generators' implicit-join
+	// convention), so queries written either way share a template.
+	var where Expr
+	for _, on := range s.JoinOn {
+		if where == nil {
+			where = on
+		} else {
+			where = &BinaryExpr{Op: "AND", Left: where, Right: on}
+		}
+	}
+	if s.Where != nil {
+		if where == nil {
+			where = s.Where
+		} else {
+			where = &BinaryExpr{Op: "AND", Left: where, Right: s.Where}
+		}
+	}
+	if where != nil {
+		b.WriteString(" WHERE ")
+		where.render(b, template)
+	}
+	if len(s.GroupBy) > 0 {
+		b.WriteString(" GROUP BY ")
+		for i, g := range s.GroupBy {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			g.render(b, template)
+		}
+	}
+	if s.Having != nil {
+		b.WriteString(" HAVING ")
+		s.Having.render(b, template)
+	}
+	if len(s.OrderBy) > 0 {
+		b.WriteString(" ORDER BY ")
+		for i, o := range s.OrderBy {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			o.Expr.render(b, template)
+			if o.Desc {
+				b.WriteString(" DESC")
+			}
+		}
+	}
+}
+
+// Assignment is one `col = expr` of an UPDATE SET list.
+type Assignment struct {
+	Column *ColumnRef
+	Value  Expr
+}
+
+// UpdateStmt is `UPDATE [TOP(k)] table SET … [WHERE …]`.
+type UpdateStmt struct {
+	Table string
+	// Top is the k of UPDATE TOP(k); 0 means absent. The paper's Section
+	// 6.1 splits complex updates into a SELECT part and a pure
+	// `UPDATE TOP(k)` part.
+	Top   *Literal
+	Set   []Assignment
+	Where Expr
+}
+
+func (s *UpdateStmt) stmtNode() {}
+
+func (s *UpdateStmt) render(b *strings.Builder, template bool) {
+	b.WriteString("UPDATE ")
+	if s.Top != nil {
+		b.WriteString("TOP(")
+		s.Top.render(b, template)
+		b.WriteString(") ")
+	}
+	b.WriteString(s.Table)
+	b.WriteString(" SET ")
+	for i, a := range s.Set {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		a.Column.render(b, template)
+		b.WriteString(" = ")
+		a.Value.render(b, template)
+	}
+	if s.Where != nil {
+		b.WriteString(" WHERE ")
+		s.Where.render(b, template)
+	}
+}
+
+// InsertStmt is `INSERT INTO table (cols) VALUES (…)`.
+type InsertStmt struct {
+	Table   string
+	Columns []string
+	Values  []Expr
+}
+
+func (s *InsertStmt) stmtNode() {}
+
+func (s *InsertStmt) render(b *strings.Builder, template bool) {
+	b.WriteString("INSERT INTO ")
+	b.WriteString(s.Table)
+	if len(s.Columns) > 0 {
+		b.WriteString(" (")
+		for i, c := range s.Columns {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			b.WriteString(c)
+		}
+		b.WriteByte(')')
+	}
+	b.WriteString(" VALUES (")
+	for i, v := range s.Values {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		v.render(b, template)
+	}
+	b.WriteByte(')')
+}
+
+// DeleteStmt is `DELETE FROM table [WHERE …]`.
+type DeleteStmt struct {
+	Table string
+	Where Expr
+}
+
+func (s *DeleteStmt) stmtNode() {}
+
+func (s *DeleteStmt) render(b *strings.Builder, template bool) {
+	b.WriteString("DELETE FROM ")
+	b.WriteString(s.Table)
+	if s.Where != nil {
+		b.WriteString(" WHERE ")
+		s.Where.render(b, template)
+	}
+}
+
+// SQL returns the canonical SQL text of the statement with literal values.
+func SQL(s Statement) string {
+	var b strings.Builder
+	s.render(&b, false)
+	return b.String()
+}
+
+// TemplateSQL returns the statement's template: its canonical SQL with
+// every literal replaced by '?'. Two statements have the same template
+// exactly when they are identical in everything but constant bindings.
+func TemplateSQL(s Statement) string {
+	var b strings.Builder
+	s.render(&b, true)
+	return b.String()
+}

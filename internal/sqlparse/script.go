@@ -1,0 +1,61 @@
+package sqlparse
+
+import "strings"
+
+// SplitScript splits a SQL script into individual statements on
+// semicolons, respecting string literals (a ';' inside quotes does not
+// terminate a statement) and skipping `--` line comments and blank
+// statements. It performs no validation — Parse does that per statement.
+func SplitScript(script string) []string {
+	var out []string
+	var b strings.Builder
+	inString := false
+	lineStart := true
+	i := 0
+	for i < len(script) {
+		c := script[i]
+		if !inString && lineStart && c == '-' && i+1 < len(script) && script[i+1] == '-' {
+			// Line comment: skip to end of line.
+			for i < len(script) && script[i] != '\n' {
+				i++
+			}
+			continue
+		}
+		switch c {
+		case '\'':
+			if inString && i+1 < len(script) && script[i+1] == '\'' {
+				// Escaped quote inside a string.
+				b.WriteByte(c)
+				b.WriteByte(script[i+1])
+				i += 2
+				continue
+			}
+			inString = !inString
+			b.WriteByte(c)
+		case ';':
+			if inString {
+				b.WriteByte(c)
+			} else {
+				if s := strings.TrimSpace(b.String()); s != "" {
+					out = append(out, s)
+				}
+				b.Reset()
+			}
+		case '\n':
+			b.WriteByte(' ')
+			lineStart = true
+			i++
+			continue
+		default:
+			b.WriteByte(c)
+		}
+		if c != ' ' && c != '\t' && c != '\r' {
+			lineStart = false
+		}
+		i++
+	}
+	if s := strings.TrimSpace(b.String()); s != "" {
+		out = append(out, s)
+	}
+	return out
+}

@@ -1,0 +1,206 @@
+package stats
+
+import "math"
+
+// Stratum describes one stratum of a stratified sampling design: its
+// population size, the (estimated) S² of the variable inside it, and the
+// number of samples already taken from it.
+type Stratum struct {
+	// Size is |WL_h|, the number of population elements in the stratum.
+	Size int
+	// S2 is S²_h = σ²_h · |WL_h|/(|WL_h|−1), the paper's variance form.
+	S2 float64
+	// Taken is the number of samples already drawn from the stratum.
+	Taken int
+}
+
+// StratifiedVariance evaluates Equation 5 of the paper:
+//
+//	Var(X) = Σ_h |WL_h|² · S²_h/n_h · (1 − n_h/|WL_h|)
+//
+// for the allocation alloc (alloc[h] = n_h). Strata with n_h ≤ 0 contribute
+// +Inf unless their size is also 0. An allocation covering a whole stratum
+// contributes 0 for it (the FPC vanishes).
+func StratifiedVariance(strata []Stratum, alloc []int) float64 {
+	if len(strata) != len(alloc) {
+		panic("stats: allocation length mismatch")
+	}
+	var v float64
+	for h, st := range strata {
+		if st.Size == 0 {
+			continue
+		}
+		n := alloc[h]
+		if n <= 0 {
+			return math.Inf(1)
+		}
+		if n >= st.Size {
+			continue
+		}
+		W := float64(st.Size)
+		v += W * W * st.S2 / float64(n) * (1 - float64(n)/W)
+	}
+	return v
+}
+
+// NeymanAllocation distributes a total sample size n across strata
+// proportionally to |WL_h|·S_h (Neyman's optimum allocation), clamping each
+// stratum to its population size and to a per-stratum minimum. The returned
+// slice always sums to at least min(n, Σ sizes); leftover samples from
+// clamped strata are redistributed among the unclamped ones.
+func NeymanAllocation(strata []Stratum, n, perStratumMin int) []int {
+	L := len(strata)
+	alloc := make([]int, L)
+	if L == 0 {
+		return alloc
+	}
+
+	// First pass: reserve the minimum everywhere it fits.
+	remaining := n
+	capLeft := make([]int, L)
+	for h, st := range strata {
+		m := perStratumMin
+		if m > st.Size {
+			m = st.Size
+		}
+		alloc[h] = m
+		remaining -= m
+		capLeft[h] = st.Size - m
+	}
+	if remaining <= 0 {
+		return alloc
+	}
+
+	// Iteratively hand out the remainder proportionally to W_h·S_h among
+	// strata that still have capacity. Clamping one stratum changes the
+	// proportions, hence the loop; it terminates because each iteration
+	// either exhausts `remaining` or permanently clamps a stratum.
+	for remaining > 0 {
+		var totalWeight float64
+		for h, st := range strata {
+			if capLeft[h] > 0 {
+				totalWeight += float64(st.Size) * math.Sqrt(math.Max(st.S2, 0))
+			}
+		}
+		if totalWeight == 0 {
+			// All remaining strata have zero variance estimates; spread
+			// uniformly over those with capacity.
+			progress := false
+			for h := range strata {
+				if remaining == 0 {
+					break
+				}
+				if capLeft[h] > 0 {
+					alloc[h]++
+					capLeft[h]--
+					remaining--
+					progress = true
+				}
+			}
+			if !progress {
+				break // every stratum exhausted
+			}
+			continue
+		}
+		clamped := false
+		distributed := 0
+		for h, st := range strata {
+			if capLeft[h] <= 0 {
+				continue
+			}
+			w := float64(st.Size) * math.Sqrt(math.Max(st.S2, 0)) / totalWeight
+			give := int(math.Floor(w * float64(remaining)))
+			if give > capLeft[h] {
+				give = capLeft[h]
+				clamped = true
+			}
+			alloc[h] += give
+			capLeft[h] -= give
+			distributed += give
+		}
+		remaining -= distributed
+		if distributed == 0 && !clamped {
+			// Rounding stalled: hand out one-by-one to the highest-weight
+			// strata with capacity.
+			for h := range strata {
+				if remaining == 0 {
+					break
+				}
+				if capLeft[h] > 0 {
+					alloc[h]++
+					capLeft[h]--
+					remaining--
+				}
+			}
+			break
+		}
+	}
+	return alloc
+}
+
+// MinSamplesForVariance returns the smallest total sample size n such that a
+// Neyman allocation of n over the strata (respecting perStratumMin) achieves
+// StratifiedVariance ≤ targetVar, assuming the strata S² values stay
+// constant. This is the #Samples(Cᵢ, ST, NT) oracle of Section 5.1; as the
+// paper notes (footnote 3), ignoring the finite population correction it can
+// be computed with a binary search over n combined with Neyman allocation in
+// O(L·log₂(N)) operations. The search is bounded by the total population
+// size; if even sampling everything cannot reach the target (targetVar < 0),
+// the total population size is returned.
+func MinSamplesForVariance(strata []Stratum, targetVar float64, perStratumMin int) int {
+	total := 0
+	for _, st := range strata {
+		total += st.Size
+	}
+	if total == 0 {
+		return 0
+	}
+	lo := 0
+	for _, st := range strata {
+		m := perStratumMin
+		if m > st.Size {
+			m = st.Size
+		}
+		lo += m
+	}
+	if lo < 1 {
+		lo = 1
+	}
+	if v := StratifiedVariance(strata, NeymanAllocation(strata, lo, perStratumMin)); v <= targetVar {
+		return lo
+	}
+	hi := total
+	if v := StratifiedVariance(strata, NeymanAllocation(strata, hi, perStratumMin)); v > targetVar {
+		return total
+	}
+	for lo < hi {
+		mid := (lo + hi) / 2
+		v := StratifiedVariance(strata, NeymanAllocation(strata, mid, perStratumMin))
+		if v <= targetVar {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	return lo
+}
+
+// Bonferroni combines pairwise probabilities of correct selection into the
+// multi-way lower bound of Equation 3:
+//
+//	Pr(CS) ≥ 1 − Σ_j (1 − Pr(CS_{i,j}))
+//
+// The result is clamped to [0, 1].
+func Bonferroni(pairwise []float64) float64 {
+	p := 1.0
+	for _, pij := range pairwise {
+		p -= 1 - pij
+	}
+	if p < 0 {
+		return 0
+	}
+	if p > 1 {
+		return 1
+	}
+	return p
+}

@@ -1,0 +1,199 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func almostEq(a, b, tol float64) bool {
+	if math.IsInf(a, 0) || math.IsInf(b, 0) {
+		return a == b
+	}
+	d := math.Abs(a - b)
+	if d <= tol {
+		return true
+	}
+	m := math.Max(math.Abs(a), math.Abs(b))
+	return d <= tol*m
+}
+
+func TestMeanSum(t *testing.T) {
+	if Mean(nil) != 0 {
+		t.Error("Mean(nil) != 0")
+	}
+	if got := Mean([]float64{1, 2, 3, 4}); got != 2.5 {
+		t.Errorf("Mean = %v", got)
+	}
+	if got := Sum([]float64{1, 2, 3, 4}); got != 10 {
+		t.Errorf("Sum = %v", got)
+	}
+}
+
+func TestVariances(t *testing.T) {
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	if got := PopulationVariance(xs); !almostEq(got, 4, 1e-12) {
+		t.Errorf("PopulationVariance = %v, want 4", got)
+	}
+	if got := SampleVariance(xs); !almostEq(got, 32.0/7.0, 1e-12) {
+		t.Errorf("SampleVariance = %v, want %v", got, 32.0/7.0)
+	}
+	if SampleVariance([]float64{5}) != 0 {
+		t.Error("SampleVariance of singleton should be 0")
+	}
+	if PopulationVariance(nil) != 0 {
+		t.Error("PopulationVariance(nil) should be 0")
+	}
+}
+
+// The identity the paper's Delta Sampling analysis rests on (Section 4.2):
+// σ²_{l,j} = σ²_l + σ²_j − 2·Cov_{l,j}.
+func TestDeltaVarianceIdentity(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := NewRNG(seed)
+		n := 5 + r.Intn(200)
+		xs := make([]float64, n)
+		ys := make([]float64, n)
+		for i := range xs {
+			base := r.Float64() * 100
+			xs[i] = base + r.NormFloat64()*5
+			ys[i] = base + r.NormFloat64()*5
+		}
+		diff := make([]float64, n)
+		for i := range diff {
+			diff[i] = xs[i] - ys[i]
+		}
+		lhs := PopulationVariance(diff)
+		rhs := PopulationVariance(xs) + PopulationVariance(ys) - 2*PopulationCovariance(xs, ys)
+		return almostEq(lhs, rhs, 1e-9)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCovariancePanicsOnMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic on mismatched lengths")
+		}
+	}()
+	PopulationCovariance([]float64{1}, []float64{1, 2})
+}
+
+func TestFisherSkew(t *testing.T) {
+	if FisherSkew([]float64{3, 3, 3}) != 0 {
+		t.Error("constant population must have zero skew")
+	}
+	sym := []float64{-2, -1, 0, 1, 2}
+	if got := FisherSkew(sym); math.Abs(got) > 1e-12 {
+		t.Errorf("symmetric population skew = %v, want 0", got)
+	}
+	// A population with one large outlier must be strongly right-skewed.
+	skewed := []float64{1, 1, 1, 1, 1, 1, 1, 1, 1, 100}
+	if got := FisherSkew(skewed); got < 2 {
+		t.Errorf("outlier population skew = %v, want > 2", got)
+	}
+	// Mirroring flips the sign exactly.
+	mirrored := make([]float64, len(skewed))
+	for i, v := range skewed {
+		mirrored[i] = -v
+	}
+	if a, b := FisherSkew(skewed), FisherSkew(mirrored); !almostEq(a, -b, 1e-12) {
+		t.Errorf("mirror skew: %v vs %v", a, b)
+	}
+}
+
+func TestRunningMomentsMatchesBatch(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := NewRNG(seed)
+		n := 2 + r.Intn(300)
+		xs := make([]float64, n)
+		var rm RunningMoments
+		for i := range xs {
+			xs[i] = r.Float64()*1000 - 500
+			rm.Add(xs[i])
+		}
+		okMean := almostEq(rm.Mean(), Mean(xs), 1e-9)
+		okVar := almostEq(rm.SampleVariance(), SampleVariance(xs), 1e-9)
+		okPop := almostEq(rm.PopulationVariance(), PopulationVariance(xs), 1e-9)
+		okSum := almostEq(rm.Sum(), Sum(xs), 1e-9)
+		return okMean && okVar && okPop && okSum && rm.N() == n
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRunningMomentsMinMax(t *testing.T) {
+	var rm RunningMoments
+	for _, v := range []float64{5, -3, 12, 0} {
+		rm.Add(v)
+	}
+	if rm.Min() != -3 || rm.Max() != 12 {
+		t.Errorf("min/max = %v/%v", rm.Min(), rm.Max())
+	}
+}
+
+func TestRunningMomentsMerge(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := NewRNG(seed)
+		n := 2 + r.Intn(100)
+		m := 2 + r.Intn(100)
+		var a, b, all RunningMoments
+		for i := 0; i < n; i++ {
+			x := r.Float64() * 50
+			a.Add(x)
+			all.Add(x)
+		}
+		for i := 0; i < m; i++ {
+			x := r.Float64()*50 + 10
+			b.Add(x)
+			all.Add(x)
+		}
+		a.Merge(b)
+		return a.N() == all.N() &&
+			almostEq(a.Mean(), all.Mean(), 1e-9) &&
+			almostEq(a.SampleVariance(), all.SampleVariance(), 1e-9) &&
+			a.Min() == all.Min() && a.Max() == all.Max()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRunningMomentsMergeEmpty(t *testing.T) {
+	var a, b RunningMoments
+	a.Add(1)
+	a.Add(3)
+	before := a
+	a.Merge(b) // merging empty is a no-op
+	if a != before {
+		t.Error("merge with empty changed accumulator")
+	}
+	b.Merge(a) // merging into empty copies
+	if b.N() != 2 || b.Mean() != 2 {
+		t.Errorf("merge into empty: n=%d mean=%v", b.N(), b.Mean())
+	}
+}
+
+func TestFPC(t *testing.T) {
+	if got := FPC(10, 100); got != 0.9 {
+		t.Errorf("FPC(10,100) = %v", got)
+	}
+	if FPC(100, 100) != 0 || FPC(150, 100) != 0 {
+		t.Error("FPC with n >= N should be 0")
+	}
+	if FPC(5, 0) != 1 {
+		t.Error("FPC with N<=0 should be 1")
+	}
+}
+
+func TestSSquared(t *testing.T) {
+	if got := SSquared(4, 5); !almostEq(got, 5, 1e-12) {
+		t.Errorf("SSquared(4,5) = %v, want 5", got)
+	}
+	if SSquared(4, 1) != 4 {
+		t.Error("SSquared with N<=1 should pass through")
+	}
+}

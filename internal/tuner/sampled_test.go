@@ -1,0 +1,75 @@
+package tuner
+
+import (
+	"testing"
+
+	"physdes/internal/optimizer"
+	"physdes/internal/physical"
+)
+
+func TestGreedySampledMatchesExhaustiveQuality(t *testing.T) {
+	opt, cat, w, cands := setup(t, 1_500, 21)
+
+	exhaustive := Greedy(optimizer.New(cat), cat, w, nil, cands, Options{MaxStructures: 5})
+	exhaustiveCalls := exhaustive.OptimizerCalls
+
+	sampled, err := GreedySampled(opt, w, cands, SampledOptions{
+		MaxStructures: 5, Seed: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sampled.Config.NumStructures() == 0 {
+		t.Fatal("sampled tuner chose nothing")
+	}
+
+	// Quality: the sampled tuner's recommendation must reach most of the
+	// exhaustive tuner's improvement on the full workload.
+	evalOpt := optimizer.New(cat)
+	impSampled := EvaluateOn(evalOpt, w, sampled.Config)
+	impExhaustive := EvaluateOn(evalOpt, w, exhaustive.Config)
+	t.Logf("improvement: sampled %.3f (%d calls) vs exhaustive %.3f (%d calls)",
+		impSampled, sampled.OptimizerCalls, impExhaustive, exhaustiveCalls)
+	if impSampled < impExhaustive*0.7 {
+		t.Errorf("sampled tuner quality %.3f far below exhaustive %.3f",
+			impSampled, impExhaustive)
+	}
+
+	// Scalability: the sampled tuner must use far fewer optimizer calls.
+	if sampled.OptimizerCalls >= exhaustiveCalls/2 {
+		t.Errorf("sampled tuner calls %d not far below exhaustive %d",
+			sampled.OptimizerCalls, exhaustiveCalls)
+	}
+
+	// Every recorded step carries accounting.
+	for i, st := range sampled.Steps {
+		if st.Calls <= 0 {
+			t.Errorf("step %d has no call accounting", i)
+		}
+		if st.PrCS < 0 || st.PrCS > 1 {
+			t.Errorf("step %d PrCS out of range: %v", i, st.PrCS)
+		}
+	}
+}
+
+func TestGreedySampledStopsWhenNothingHelps(t *testing.T) {
+	opt, _, w, _ := setup(t, 300, 22)
+	// Candidates on a table the workload barely touches: the incumbent
+	// must win round 0 with δ slack and the tuner stops empty-handed.
+	useless := []physical.Structure{
+		physical.NewIndex("region", []string{"r_name"}),
+		physical.NewIndex("region", []string{"r_comment"}),
+	}
+	res, err := GreedySampled(opt, w, useless, SampledOptions{
+		MaxStructures: 3, Seed: 5, DeltaFrac: 0.02,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Config.NumStructures() != 0 {
+		t.Errorf("tuner picked %d useless structures", res.Config.NumStructures())
+	}
+	if len(res.Steps) != 1 || res.Steps[0].Chosen != "" {
+		t.Errorf("expected a single terminating step, got %+v", res.Steps)
+	}
+}

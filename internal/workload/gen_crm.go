@@ -1,0 +1,208 @@
+package workload
+
+import (
+	"fmt"
+
+	"physdes/internal/catalog"
+	"physdes/internal/stats"
+)
+
+// crmGen carries the state of the CRM trace generator.
+type crmGen struct {
+	cat *catalog.Catalog
+	rng *stats.RNG
+	zip map[string]*stats.ZipfGen
+}
+
+func (g *crmGen) rank(table, column string) int {
+	key := table + "." + column
+	z, ok := g.zip[key]
+	if !ok {
+		col, exists := g.cat.ColumnStats(table, column)
+		n, theta := 1, 0.0
+		if exists && col.Distinct > 0 {
+			n, theta = col.Distinct, col.Skew
+		}
+		z = stats.NewZipfGen(n, theta)
+		g.zip[key] = z
+	}
+	return z.Draw(g.rng)
+}
+
+func (g *crmGen) status(table, prefix string) string {
+	return "'" + catalog.StringValue("ST", g.rank(table, prefix+"_status")) + "'"
+}
+
+// crmEntity describes one hot entity the trace touches.
+type crmEntity struct {
+	table, prefix string
+	weight        int
+}
+
+var crmEntities = []crmEntity{
+	{"crm_customer", "cust", 10},
+	{"crm_contact", "cont", 8},
+	{"crm_account", "acct", 6},
+	{"crm_opportunity", "opp", 7},
+	{"crm_ticket", "tkt", 9},
+	{"crm_activity", "act", 10},
+	{"crm_order", "ord", 7},
+	{"crm_orderline", "ol", 5},
+	{"crm_product", "prod", 4},
+	{"crm_employee", "emp", 2},
+}
+
+// Per-entity statement shapes. Each (entity, shape) pair is a distinct
+// template, so 10 entities × ~12 shapes plus satellite lookups yield the
+// paper's ">120 distinct templates".
+func (g *crmGen) shapes(e crmEntity) []func() string {
+	t, p := e.table, e.prefix
+	return []func() string{
+		// Point lookup by ID.
+		func() string {
+			return fmt.Sprintf("SELECT %s_name, %s_status FROM %s WHERE %s_id = %d",
+				p, p, t, p, g.rank(t, p+"_id"))
+		},
+		// Status scan.
+		func() string {
+			return fmt.Sprintf("SELECT %s_id, %s_name FROM %s WHERE %s_status = %s",
+				p, p, t, p, g.status(t, p))
+		},
+		// Recent items by owner.
+		func() string {
+			return fmt.Sprintf("SELECT %s_id, %s_created FROM %s WHERE %s_owner = %d AND %s_created > %d ORDER BY %s_created DESC",
+				p, p, t, p, g.rank(t, p+"_owner"), p, g.rank(t, p+"_created"), p)
+		},
+		// Region aggregate.
+		func() string {
+			return fmt.Sprintf("SELECT %s_region, COUNT(*), SUM(%s_value) FROM %s WHERE %s_modified BETWEEN %d AND %d GROUP BY %s_region",
+				p, p, t, p, g.rank(t, p+"_modified"), g.rank(t, p+"_modified")+60, p)
+		},
+		// Value range browse.
+		func() string {
+			return fmt.Sprintf("SELECT %s_id, %s_value FROM %s WHERE %s_value BETWEEN %d AND %d ORDER BY %s_value DESC",
+				p, p, t, p, g.rank(t, p+"_value"), g.rank(t, p+"_value")+1000, p)
+		},
+		// Status update by ID.
+		func() string {
+			return fmt.Sprintf("UPDATE %s SET %s_status = %s, %s_modified = %d WHERE %s_id = %d",
+				t, p, g.status(t, p), p, g.rank(t, p+"_modified"), p, g.rank(t, p+"_id"))
+		},
+		// Bulk reassignment by owner.
+		func() string {
+			return fmt.Sprintf("UPDATE %s SET %s_owner = %d WHERE %s_owner = %d AND %s_status = %s",
+				t, p, g.rank(t, p+"_owner"), p, g.rank(t, p+"_owner"), p, g.status(t, p))
+		},
+		// Insert.
+		func() string {
+			return fmt.Sprintf("INSERT INTO %s (%s_id, %s_owner, %s_status, %s_created) VALUES (%d, %d, %s, %d)",
+				t, p, p, p, p,
+				g.rank(t, p+"_id"), g.rank(t, p+"_owner"), g.status(t, p), g.rank(t, p+"_created"))
+		},
+		// Delete old rows.
+		func() string {
+			return fmt.Sprintf("DELETE FROM %s WHERE %s_created < %d AND %s_status = %s",
+				t, p, g.rank(t, p+"_created"), p, g.status(t, p))
+		},
+		// Touch value by id (different template from status update).
+		func() string {
+			return fmt.Sprintf("UPDATE %s SET %s_value = %s_value + %d WHERE %s_id = %d",
+				t, p, p, g.rank(t, p+"_region"), p, g.rank(t, p+"_id"))
+		},
+	}
+}
+
+// joins lists cross-entity join templates over the CRM foreign keys.
+func (g *crmGen) joins() []func() string {
+	return []func() string{
+		func() string {
+			return fmt.Sprintf(
+				"SELECT cust_name, tkt_status FROM crm_customer c, crm_ticket t WHERE c.cust_id = t.tkt_custid AND tkt_created > %d",
+				g.rank("crm_ticket", "tkt_created"))
+		},
+		func() string {
+			return fmt.Sprintf(
+				"SELECT cust_name, COUNT(*) FROM crm_customer c, crm_activity a WHERE c.cust_id = a.act_custid AND act_created BETWEEN %d AND %d GROUP BY cust_name",
+				g.rank("crm_activity", "act_created"), g.rank("crm_activity", "act_created")+30)
+		},
+		func() string {
+			return fmt.Sprintf(
+				"SELECT emp_name, SUM(opp_value) FROM crm_employee e, crm_opportunity o WHERE e.emp_id = o.opp_empid AND opp_status = %s GROUP BY emp_name",
+				g.status("crm_opportunity", "opp"))
+		},
+		func() string {
+			return fmt.Sprintf(
+				"SELECT ord_id, SUM(ol_value) FROM crm_order o, crm_orderline l WHERE o.ord_id = l.ol_ordid AND ord_created > %d GROUP BY ord_id",
+				g.rank("crm_order", "ord_created"))
+		},
+		func() string {
+			return fmt.Sprintf(
+				"SELECT prod_name, COUNT(*) FROM crm_product p, crm_orderline l WHERE p.prod_id = l.ol_prodid AND ol_value > %d GROUP BY prod_name",
+				g.rank("crm_orderline", "ol_value"))
+		},
+		func() string {
+			return fmt.Sprintf(
+				"SELECT cust_name, acct_status FROM crm_customer c, crm_account a WHERE c.cust_id = a.acct_custid AND cust_region = %d",
+				g.rank("crm_customer", "cust_region"))
+		},
+	}
+}
+
+// satellites lists lookup templates against a few satellite tables.
+func (g *crmGen) satellites() []func() string {
+	var out []func() string
+	for k := 0; k < 24; k++ {
+		tbl := fmt.Sprintf("aux%03d", k*17%495)
+		prefix := fmt.Sprintf("t%03df", k*17%495)
+		out = append(out, func() string {
+			return fmt.Sprintf("SELECT %slabel FROM %s WHERE %skey = %d",
+				prefix, tbl, prefix, g.rank(tbl, prefix+"key"))
+		})
+	}
+	return out
+}
+
+// GenCRM generates an n-statement CRM trace (mixed SELECT/INSERT/UPDATE/
+// DELETE over 120+ templates) deterministically from seed.
+func GenCRM(cat *catalog.Catalog, n int, seed uint64) (*Workload, error) {
+	g := &crmGen{cat: cat, rng: stats.NewRNG(seed), zip: make(map[string]*stats.ZipfGen)}
+
+	type weighted struct {
+		gen    func() string
+		weight int
+	}
+	var pool []weighted
+	for _, e := range crmEntities {
+		for si, shape := range g.shapes(e) {
+			w := e.weight
+			// Select-ish shapes (first five) are more frequent than DML.
+			if si >= 5 {
+				w = (w + 1) / 2
+			}
+			pool = append(pool, weighted{shape, w})
+		}
+	}
+	for _, j := range g.joins() {
+		pool = append(pool, weighted{j, 6})
+	}
+	for _, s := range g.satellites() {
+		pool = append(pool, weighted{s, 1})
+	}
+
+	total := 0
+	for _, p := range pool {
+		total += p.weight
+	}
+	sqls := make([]string, 0, n)
+	for len(sqls) < n {
+		r := g.rng.Intn(total)
+		for _, p := range pool {
+			if r < p.weight {
+				sqls = append(sqls, p.gen())
+				break
+			}
+			r -= p.weight
+		}
+	}
+	return Parse(cat, sqls)
+}

@@ -1,0 +1,267 @@
+package workload
+
+import (
+	"fmt"
+
+	"physdes/internal/catalog"
+	"physdes/internal/stats"
+)
+
+// tpcdTemplate generates one statement instance of a TPC-D-style template.
+type tpcdTemplate struct {
+	name   string
+	weight int // relative frequency in the generated workload
+	gen    func(g *tpcdGen) string
+}
+
+type tpcdGen struct {
+	cat *catalog.Catalog
+	rng *stats.RNG
+	// per-column Zipf generators, keyed by table.column
+	zipfs map[string]*stats.ZipfGen
+}
+
+// drawRank draws a value (= frequency rank) from the column's distribution,
+// so the generated constants hit frequent values frequently — the
+// QGEN-with-skew setup of Section 7.
+func (g *tpcdGen) drawRank(table, column string) int {
+	key := table + "." + column
+	z, ok := g.zipfs[key]
+	if !ok {
+		col, exists := g.cat.ColumnStats(table, column)
+		n := 1
+		theta := 0.0
+		if exists {
+			n = col.Distinct
+			theta = col.Skew
+			if n < 1 {
+				n = 1
+			}
+		}
+		z = stats.NewZipfGen(n, theta)
+		g.zipfs[key] = z
+	}
+	return z.Draw(g.rng)
+}
+
+// dateRange draws a [lo, hi] window over a date column's domain.
+func (g *tpcdGen) dateRange(table, column string, window int) (int, int) {
+	col, _ := g.cat.ColumnStats(table, column)
+	n := col.Distinct
+	if n < 2 {
+		return 1, 1
+	}
+	if window >= n {
+		window = n - 1
+	}
+	lo := 1 + g.rng.Intn(n-window)
+	return lo, lo + window
+}
+
+func (g *tpcdGen) str(prefix, table, column string) string {
+	return "'" + catalog.StringValue(prefix, g.drawRank(table, column)) + "'"
+}
+
+var tpcdTemplates = []tpcdTemplate{
+	{
+		// Q1-style pricing summary: scans most of lineitem, very expensive.
+		name: "pricing_summary", weight: 3,
+		gen: func(g *tpcdGen) string {
+			_, hi := g.dateRange("lineitem", "l_shipdate", 200)
+			return fmt.Sprintf(
+				"SELECT l_returnflag, l_linestatus, SUM(l_quantity), SUM(l_extendedprice), SUM(l_extendedprice * (1 - l_discount)), COUNT(*) "+
+					"FROM lineitem WHERE l_shipdate <= %d GROUP BY l_returnflag, l_linestatus ORDER BY l_returnflag, l_linestatus", hi)
+		},
+	},
+	{
+		// Q2-style minimum cost supplier.
+		name: "min_cost_supplier", weight: 4,
+		gen: func(g *tpcdGen) string {
+			return fmt.Sprintf(
+				"SELECT s_acctbal, s_name, n_name, p_partkey FROM part p, supplier s, partsupp ps, nation n "+
+					"WHERE p.p_partkey = ps.ps_partkey AND s.s_suppkey = ps.ps_suppkey AND s.s_nationkey = n.n_nationkey "+
+					"AND p_size = %d ORDER BY s_acctbal DESC",
+				g.drawRank("part", "p_size"))
+		},
+	},
+	{
+		// Q3-style shipping priority.
+		name: "shipping_priority", weight: 5,
+		gen: func(g *tpcdGen) string {
+			d := g.drawRank("orders", "o_orderdate")
+			return fmt.Sprintf(
+				"SELECT l_orderkey, SUM(l_extendedprice * (1 - l_discount)), o_orderdate FROM customer c, orders o, lineitem l "+
+					"WHERE c.c_custkey = o.o_custkey AND l.l_orderkey = o.o_orderkey AND c_mktsegment = %s "+
+					"AND o_orderdate < %d AND l_shipdate > %d GROUP BY l_orderkey, o_orderdate",
+				g.str("SEG", "customer", "c_mktsegment"), d, d)
+		},
+	},
+	{
+		// Q4-style order priority checking.
+		name: "order_priority", weight: 5,
+		gen: func(g *tpcdGen) string {
+			lo, hi := g.dateRange("orders", "o_orderdate", 90)
+			return fmt.Sprintf(
+				"SELECT o_orderpriority, COUNT(*) FROM orders WHERE o_orderdate BETWEEN %d AND %d "+
+					"GROUP BY o_orderpriority ORDER BY o_orderpriority", lo, hi)
+		},
+	},
+	{
+		// Q5-style local supplier volume (5-way join).
+		name: "local_supplier_volume", weight: 3,
+		gen: func(g *tpcdGen) string {
+			lo, hi := g.dateRange("orders", "o_orderdate", 365)
+			return fmt.Sprintf(
+				"SELECT n_name, SUM(l_extendedprice * (1 - l_discount)) FROM customer c, orders o, lineitem l, supplier s, nation n "+
+					"WHERE c.c_custkey = o.o_custkey AND l.l_orderkey = o.o_orderkey AND l.l_suppkey = s.s_suppkey "+
+					"AND s.s_nationkey = n.n_nationkey AND o_orderdate BETWEEN %d AND %d GROUP BY n_name ORDER BY n_name", lo, hi)
+		},
+	},
+	{
+		// Q6-style forecasting revenue change.
+		name: "forecast_revenue", weight: 6,
+		gen: func(g *tpcdGen) string {
+			lo, hi := g.dateRange("lineitem", "l_shipdate", 365)
+			disc := g.drawRank("lineitem", "l_discount")
+			qty := g.drawRank("lineitem", "l_quantity")
+			return fmt.Sprintf(
+				"SELECT SUM(l_extendedprice * l_discount) FROM lineitem WHERE l_shipdate BETWEEN %d AND %d "+
+					"AND l_discount = %d AND l_quantity < %d", lo, hi, disc, qty)
+		},
+	},
+	{
+		// Q10-style returned item reporting.
+		name: "returned_items", weight: 4,
+		gen: func(g *tpcdGen) string {
+			lo, hi := g.dateRange("orders", "o_orderdate", 90)
+			return fmt.Sprintf(
+				"SELECT c_name, SUM(l_extendedprice * (1 - l_discount)), c_acctbal FROM customer c, orders o, lineitem l "+
+					"WHERE c.c_custkey = o.o_custkey AND l.l_orderkey = o.o_orderkey AND l_returnflag = %s "+
+					"AND o_orderdate BETWEEN %d AND %d GROUP BY c_name, c_acctbal",
+				g.str("RF", "lineitem", "l_returnflag"), lo, hi)
+		},
+	},
+	{
+		// Q11-style important stock identification.
+		name: "important_stock", weight: 3,
+		gen: func(g *tpcdGen) string {
+			return fmt.Sprintf(
+				"SELECT ps_partkey, SUM(ps_supplycost * ps_availqty) FROM partsupp ps, supplier s "+
+					"WHERE ps.ps_suppkey = s.s_suppkey AND s_nationkey = %d GROUP BY ps_partkey",
+				g.drawRank("supplier", "s_nationkey"))
+		},
+	},
+	{
+		// Q12-style shipping mode / order priority.
+		name: "ship_mode", weight: 4,
+		gen: func(g *tpcdGen) string {
+			lo, hi := g.dateRange("lineitem", "l_receiptdate", 365)
+			return fmt.Sprintf(
+				"SELECT l_shipmode, COUNT(*) FROM orders o, lineitem l WHERE o.o_orderkey = l.l_orderkey "+
+					"AND l_shipmode IN (%s, %s) AND l_receiptdate BETWEEN %d AND %d GROUP BY l_shipmode ORDER BY l_shipmode",
+				g.str("MODE", "lineitem", "l_shipmode"), g.str("MODE", "lineitem", "l_shipmode"), lo, hi)
+		},
+	},
+	{
+		// Q14-style promotion effect.
+		name: "promotion_effect", weight: 4,
+		gen: func(g *tpcdGen) string {
+			lo, hi := g.dateRange("lineitem", "l_shipdate", 30)
+			return fmt.Sprintf(
+				"SELECT SUM(l_extendedprice * (1 - l_discount)) FROM lineitem l, part p "+
+					"WHERE l.l_partkey = p.p_partkey AND l_shipdate BETWEEN %d AND %d", lo, hi)
+		},
+	},
+	{
+		// Point lookup: order status check — very cheap.
+		name: "order_lookup", weight: 12,
+		gen: func(g *tpcdGen) string {
+			return fmt.Sprintf(
+				"SELECT o_orderstatus, o_totalprice FROM orders WHERE o_orderkey = %d",
+				g.drawRank("orders", "o_orderkey"))
+		},
+	},
+	{
+		// Point lookup: customer by key.
+		name: "customer_lookup", weight: 12,
+		gen: func(g *tpcdGen) string {
+			return fmt.Sprintf(
+				"SELECT c_name, c_acctbal, c_phone FROM customer WHERE c_custkey = %d",
+				g.drawRank("customer", "c_custkey"))
+		},
+	},
+	{
+		// Lineitems of one order.
+		name: "order_lines", weight: 10,
+		gen: func(g *tpcdGen) string {
+			return fmt.Sprintf(
+				"SELECT l_linenumber, l_quantity, l_extendedprice FROM lineitem WHERE l_orderkey = %d ORDER BY l_linenumber",
+				g.drawRank("lineitem", "l_orderkey"))
+		},
+	},
+	{
+		// Part availability probe.
+		name: "part_availability", weight: 8,
+		gen: func(g *tpcdGen) string {
+			return fmt.Sprintf(
+				"SELECT ps_availqty, ps_supplycost FROM partsupp WHERE ps_partkey = %d",
+				g.drawRank("partsupp", "ps_partkey"))
+		},
+	},
+	{
+		// Supplier search by nation and balance.
+		name: "supplier_search", weight: 6,
+		gen: func(g *tpcdGen) string {
+			return fmt.Sprintf(
+				"SELECT s_name, s_acctbal FROM supplier WHERE s_nationkey = %d AND s_acctbal > %d ORDER BY s_acctbal DESC",
+				g.drawRank("supplier", "s_nationkey"), g.drawRank("supplier", "s_acctbal"))
+		},
+	},
+	{
+		// Part browse by brand & container.
+		name: "part_browse", weight: 6,
+		gen: func(g *tpcdGen) string {
+			return fmt.Sprintf(
+				"SELECT p_name, p_retailprice FROM part WHERE p_brand = %s AND p_container = %s",
+				g.str("BRAND", "part", "p_brand"), g.str("CONT", "part", "p_container"))
+		},
+	},
+	{
+		// Clerk workload report.
+		name: "clerk_report", weight: 5,
+		gen: func(g *tpcdGen) string {
+			lo, hi := g.dateRange("orders", "o_orderdate", 30)
+			return fmt.Sprintf(
+				"SELECT COUNT(*), SUM(o_totalprice) FROM orders WHERE o_clerk = %s AND o_orderdate BETWEEN %d AND %d",
+				g.str("CLERK", "orders", "o_clerk"), lo, hi)
+		},
+	},
+}
+
+// GenTPCD generates an n-statement TPC-D style workload (SELECT-only, as
+// produced by QGEN) against cat, deterministically from seed. Template
+// frequencies follow the template weights; constants follow the catalog's
+// skewed value distributions.
+func GenTPCD(cat *catalog.Catalog, n int, seed uint64) (*Workload, error) {
+	g := &tpcdGen{cat: cat, rng: stats.NewRNG(seed), zipfs: make(map[string]*stats.ZipfGen)}
+	total := 0
+	for _, t := range tpcdTemplates {
+		total += t.weight
+	}
+	sqls := make([]string, 0, n)
+	for len(sqls) < n {
+		// Weighted template choice.
+		r := g.rng.Intn(total)
+		for _, t := range tpcdTemplates {
+			if r < t.weight {
+				sqls = append(sqls, t.gen(g))
+				break
+			}
+			r -= t.weight
+		}
+	}
+	return Parse(cat, sqls)
+}
+
+// NumTPCDTemplates reports how many distinct templates GenTPCD draws from.
+func NumTPCDTemplates() int { return len(tpcdTemplates) }

@@ -1,0 +1,124 @@
+package workload
+
+import (
+	"runtime"
+	"sync"
+
+	"physdes/internal/optimizer"
+	"physdes/internal/physical"
+)
+
+// CostMatrix holds the optimizer-estimated cost of every (query,
+// configuration) pair. The Monte-Carlo harness precomputes it once — the
+// "exact" answer the sampling schemes are measured against — and then
+// replays sampled evaluations from it, charging synthetic optimizer calls,
+// so a 5000-repetition simulation does not re-run the optimizer 5000×N×k
+// times.
+type CostMatrix struct {
+	// Costs[i][j] is the cost of query i under configuration j.
+	Costs [][]float64
+	// Configs are the costed configurations, in column order.
+	Configs []*physical.Configuration
+}
+
+// ComputeCostMatrix evaluates every query of w under every configuration,
+// in parallel across queries. It charges the optimizer's call counter
+// N×k calls, the price the exhaustive approach pays.
+func ComputeCostMatrix(o *optimizer.Optimizer, w *Workload, configs []*physical.Configuration) *CostMatrix {
+	n := w.Size()
+	m := &CostMatrix{
+		Costs:   make([][]float64, n),
+		Configs: configs,
+	}
+	workers := runtime.GOMAXPROCS(0)
+	if workers > n {
+		workers = n
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	var wg sync.WaitGroup
+	chunk := (n + workers - 1) / workers
+	for wk := 0; wk < workers; wk++ {
+		lo := wk * chunk
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			for i := lo; i < hi; i++ {
+				row := make([]float64, len(configs))
+				for j, cfg := range configs {
+					row[j] = o.Cost(w.Queries[i].Analysis, cfg)
+				}
+				m.Costs[i] = row
+			}
+		}(lo, hi)
+	}
+	wg.Wait()
+	return m
+}
+
+// N returns the number of queries (rows).
+func (m *CostMatrix) N() int { return len(m.Costs) }
+
+// K returns the number of configurations (columns).
+func (m *CostMatrix) K() int { return len(m.Configs) }
+
+// TotalCost returns Cost(WL, C_j): the exact total workload cost of
+// configuration j.
+func (m *CostMatrix) TotalCost(j int) float64 {
+	var s float64
+	for i := range m.Costs {
+		s += m.Costs[i][j]
+	}
+	return s
+}
+
+// Column returns a copy of configuration j's per-query cost vector.
+func (m *CostMatrix) Column(j int) []float64 {
+	out := make([]float64, len(m.Costs))
+	for i := range m.Costs {
+		out[i] = m.Costs[i][j]
+	}
+	return out
+}
+
+// BestConfig returns the index of the configuration with the lowest total
+// cost and that cost.
+func (m *CostMatrix) BestConfig() (int, float64) {
+	best, bestCost := -1, 0.0
+	for j := range m.Configs {
+		c := m.TotalCost(j)
+		if best < 0 || c < bestCost {
+			best, bestCost = j, c
+		}
+	}
+	return best, bestCost
+}
+
+// SubsetColumns returns a matrix restricted to the given configuration
+// columns (sharing the underlying cost storage is avoided; rows are
+// copied).
+func (m *CostMatrix) SubsetColumns(cols []int) *CostMatrix {
+	out := &CostMatrix{
+		Costs:   make([][]float64, len(m.Costs)),
+		Configs: make([]*physical.Configuration, len(cols)),
+	}
+	for jj, j := range cols {
+		out.Configs[jj] = m.Configs[j]
+	}
+	for i := range m.Costs {
+		row := make([]float64, len(cols))
+		for jj, j := range cols {
+			row[jj] = m.Costs[i][j]
+		}
+		out.Costs[i] = row
+	}
+	return out
+}

@@ -1,0 +1,146 @@
+package workload
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+
+	"physdes/internal/stats"
+)
+
+// storeRecord is one line of the on-disk workload table: the query's ID,
+// template and text — exactly the three columns the paper's preprocessing
+// step writes "for workloads large enough that the query strings do not fit
+// into memory" (Section 5).
+type storeRecord struct {
+	ID       int    `json:"id"`
+	Template uint64 `json:"template"`
+	SQL      string `json:"sql"`
+}
+
+// Save writes the workload to path as a line-delimited JSON workload table.
+func Save(w *Workload, path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("workload: save: %w", err)
+	}
+	bw := bufio.NewWriter(f)
+	enc := json.NewEncoder(bw)
+	for _, q := range w.Queries {
+		rec := storeRecord{ID: q.ID, Template: uint64(q.Template), SQL: q.SQL}
+		if err := enc.Encode(&rec); err != nil {
+			f.Close()
+			return fmt.Errorf("workload: save: %w", err)
+		}
+	}
+	if err := bw.Flush(); err != nil {
+		f.Close()
+		return fmt.Errorf("workload: save: %w", err)
+	}
+	return f.Close()
+}
+
+// Store provides sampling access to an on-disk workload table without
+// holding the query strings in memory: only IDs and template hashes are
+// resident.
+type Store struct {
+	path      string
+	ids       []int
+	templates []uint64
+	offsets   []int64
+}
+
+// OpenStore scans the workload table once, indexing IDs, templates and line
+// offsets.
+func OpenStore(path string) (*Store, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("workload: open store: %w", err)
+	}
+	defer f.Close()
+	s := &Store{path: path}
+	br := bufio.NewReader(f)
+	var off int64
+	for {
+		line, err := br.ReadBytes('\n')
+		if len(line) > 0 {
+			var rec storeRecord
+			if jerr := json.Unmarshal(line, &rec); jerr != nil {
+				return nil, fmt.Errorf("workload: store line %d: %w", len(s.ids), jerr)
+			}
+			s.ids = append(s.ids, rec.ID)
+			s.templates = append(s.templates, rec.Template)
+			s.offsets = append(s.offsets, off)
+			off += int64(len(line))
+		}
+		if err != nil {
+			break
+		}
+	}
+	return s, nil
+}
+
+// Size returns the number of stored statements.
+func (s *Store) Size() int { return len(s.ids) }
+
+// TemplateOf returns the template hash of the i-th statement.
+func (s *Store) TemplateOf(i int) uint64 { return s.templates[i] }
+
+// SampleIDs returns n statement indices drawn without replacement via a
+// random permutation — the paper's preprocessing: "computing a random
+// permutation of the query IDs and then … reading the queries corresponding
+// to the first n IDs".
+func (s *Store) SampleIDs(n int, rng *stats.RNG) []int {
+	if n > len(s.ids) {
+		n = len(s.ids)
+	}
+	perm := rng.Perm(len(s.ids))
+	return perm[:n]
+}
+
+// ReadQueries reads the statements with the given (distinct) indices using
+// a single ascending scan of the file, returning them in the order
+// requested.
+func (s *Store) ReadQueries(indices []int) ([]string, error) {
+	f, err := os.Open(s.path)
+	if err != nil {
+		return nil, fmt.Errorf("workload: read: %w", err)
+	}
+	defer f.Close()
+
+	// Visit offsets in ascending order (single forward scan), then
+	// reassemble in request order.
+	order := make([]int, len(indices))
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool {
+		return s.offsets[indices[order[a]]] < s.offsets[indices[order[b]]]
+	})
+	out := make([]string, len(indices))
+	br := bufio.NewReader(f)
+	var pos int64
+	for _, oi := range order {
+		idx := indices[oi]
+		target := s.offsets[idx]
+		if target > pos {
+			if _, err := br.Discard(int(target - pos)); err != nil {
+				return nil, fmt.Errorf("workload: read seek: %w", err)
+			}
+			pos = target
+		}
+		line, err := br.ReadBytes('\n')
+		if err != nil && len(line) == 0 {
+			return nil, fmt.Errorf("workload: read line: %w", err)
+		}
+		pos += int64(len(line))
+		var rec storeRecord
+		if err := json.Unmarshal(line, &rec); err != nil {
+			return nil, fmt.Errorf("workload: read decode: %w", err)
+		}
+		out[oi] = rec.SQL
+	}
+	return out, nil
+}

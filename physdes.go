@@ -1,0 +1,248 @@
+// Package physdes is a library for scalable exploration of physical
+// database design, reproducing König & Nabar, "Scalable Exploration of
+// Physical Database Design" (ICDE 2006).
+//
+// The central primitive is Select: given a workload, a set of candidate
+// physical design configurations (indexes and materialized views), a target
+// probability α and a sensitivity δ, it returns the configuration with the
+// lowest optimizer-estimated workload cost with probability at least α —
+// while sampling only a fraction of the workload instead of issuing a
+// what-if optimizer call for every query/configuration combination.
+//
+// The package re-exports the user-facing types of the internal packages:
+//
+//   - catalogs and schema statistics (TPCDCatalog, CRMCatalog),
+//   - workload generation, parsing and template extraction (GenTPCD,
+//     GenCRM, ParseWorkload),
+//   - physical design structures and configurations (NewIndex, NewView,
+//     NewConfiguration, EnumerateCandidates, GenerateConfigurations),
+//   - the simulated what-if optimizer (NewOptimizer),
+//   - the comparison primitive (Select, SelectTraced, DefaultOptions),
+//   - conservative validation per Section 6 (Options.Conservative), and
+//   - the baselines and the greedy tuner used in the paper's evaluation.
+//
+// A minimal end-to-end use:
+//
+//	cat := physdes.TPCDCatalog(1)
+//	wl, _ := physdes.GenTPCD(cat, 13000, 42)
+//	opt := physdes.NewOptimizer(cat)
+//	cands := physdes.EnumerateCandidates(cat, wl, physdes.CandidateOptions{Covering: true, Views: true})
+//	configs := physdes.GenerateConfigurations(cat, cands, 50, 7, physdes.SpaceOptions{})
+//	sel, _ := physdes.Select(opt, wl, configs, physdes.DefaultOptions(1))
+//	fmt.Println(sel.Best.Name(), sel.PrCS, sel.Savings())
+package physdes
+
+import (
+	"physdes/internal/catalog"
+	"physdes/internal/compress"
+	"physdes/internal/core"
+	"physdes/internal/optimizer"
+	"physdes/internal/physical"
+	"physdes/internal/sampling"
+	"physdes/internal/sqlparse"
+	"physdes/internal/stats"
+	"physdes/internal/tuner"
+	"physdes/internal/workload"
+)
+
+// Re-exported types. The aliases keep the internal packages' documentation
+// and method sets.
+type (
+	// Catalog holds schema metadata and column statistics.
+	Catalog = catalog.Catalog
+	// Optimizer is the what-if cost oracle.
+	Optimizer = optimizer.Optimizer
+	// Workload is an ordered set of statements with template bookkeeping.
+	Workload = workload.Workload
+	// Query is one workload statement.
+	Query = workload.Query
+	// CostMatrix is a precomputed (query × configuration) cost table.
+	CostMatrix = workload.CostMatrix
+	// Configuration is a set of physical design structures.
+	Configuration = physical.Configuration
+	// Structure is an index or materialized view.
+	Structure = physical.Structure
+	// Index is a secondary B-tree index.
+	Index = physical.Index
+	// View is a materialized join view.
+	View = physical.View
+	// CandidateOptions controls candidate enumeration.
+	CandidateOptions = physical.CandidateOptions
+	// SpaceOptions controls configuration-space generation.
+	SpaceOptions = physical.SpaceOptions
+	// Options configures the comparison primitive.
+	Options = core.Options
+	// Selection is the primitive's decision report.
+	Selection = core.Selection
+	// Scheme selects Independent or Delta sampling.
+	Scheme = sampling.Scheme
+	// StratMode selects the stratification policy.
+	StratMode = sampling.StratMode
+	// Compressed is a weighted sub-workload from a compression baseline.
+	Compressed = compress.Compressed
+	// TunerOptions bounds the greedy tuner.
+	TunerOptions = tuner.Options
+	// TunerResult reports a tuning run.
+	TunerResult = tuner.Result
+	// Plan is an explained statement plan.
+	Plan = optimizer.Plan
+	// PlanNode is one operator of an explained plan.
+	PlanNode = optimizer.PlanNode
+	// SampledTunerOptions configures the sampling-based greedy tuner.
+	SampledTunerOptions = tuner.SampledOptions
+	// SampledTunerResult reports a sampling-based tuning run.
+	SampledTunerResult = tuner.SampledResult
+	// CachedOptimizer memoizes what-if calls.
+	CachedOptimizer = optimizer.Cached
+)
+
+// Sampling schemes and stratification modes.
+const (
+	// IndependentSampling draws a separate sample per configuration
+	// (Section 4.1 of the paper).
+	IndependentSampling = sampling.Independent
+	// DeltaSampling draws one shared sample and estimates cost differences
+	// (Section 4.2).
+	DeltaSampling = sampling.Delta
+	// NoStratification keeps a single stratum.
+	NoStratification = sampling.NoStrat
+	// ProgressiveStratification refines strata greedily (Algorithm 2).
+	ProgressiveStratification = sampling.Progressive
+	// FineStratification starts with one stratum per template.
+	FineStratification = sampling.Fine
+)
+
+// TPCDCatalog builds the synthetic TPC-D schema with Zipf-skewed statistics
+// (θ=1); scale 1 corresponds to the paper's ~1GB database.
+func TPCDCatalog(scale float64) *Catalog { return catalog.TPCD(scale) }
+
+// CRMCatalog builds the 500+-table CRM schema standing in for the paper's
+// real-life database.
+func CRMCatalog() *Catalog { return catalog.CRM() }
+
+// NewOptimizer returns a what-if optimizer over the catalog.
+func NewOptimizer(cat *Catalog) *Optimizer { return optimizer.New(cat) }
+
+// NewCachedOptimizer wraps an optimizer with a per-(statement,
+// configuration) memo table, as tuning tools layer over the what-if API;
+// hits are not charged to the wrapped optimizer's call counter.
+func NewCachedOptimizer(opt *Optimizer) *CachedOptimizer { return optimizer.NewCached(opt) }
+
+// GenTPCD generates an n-statement QGEN-style TPC-D workload.
+func GenTPCD(cat *Catalog, n int, seed uint64) (*Workload, error) {
+	return workload.GenTPCD(cat, n, seed)
+}
+
+// GenCRM generates an n-statement mixed-DML CRM trace (>120 templates).
+func GenCRM(cat *Catalog, n int, seed uint64) (*Workload, error) {
+	return workload.GenCRM(cat, n, seed)
+}
+
+// ParseWorkload parses raw SQL statements into a workload, extracting
+// templates.
+func ParseWorkload(cat *Catalog, sqls []string) (*Workload, error) {
+	return workload.Parse(cat, sqls)
+}
+
+// SplitScript splits a SQL script into statements on semicolons,
+// respecting string literals and skipping line comments.
+func SplitScript(script string) []string { return sqlparse.SplitScript(script) }
+
+// DiffConfigurations reports the structures to build and drop when moving
+// from configuration a to configuration b.
+func DiffConfigurations(a, b *Configuration) (build, drop []Structure) {
+	return physical.Diff(a, b)
+}
+
+// SaveWorkload writes a workload table to disk; OpenWorkloadStore reopens
+// it for permutation sampling without holding query text in memory.
+func SaveWorkload(w *Workload, path string) error { return workload.Save(w, path) }
+
+// OpenWorkloadStore opens an on-disk workload table.
+func OpenWorkloadStore(path string) (*workload.Store, error) { return workload.OpenStore(path) }
+
+// NewIndex builds an index structure on table with ordered key columns and
+// optional include columns.
+func NewIndex(table string, key []string, include ...string) *Index {
+	return physical.NewIndex(table, key, include...)
+}
+
+// NewConfiguration builds a configuration from structures.
+func NewConfiguration(name string, structures ...Structure) *Configuration {
+	return physical.NewConfiguration(name, structures...)
+}
+
+// EnumerateCandidates derives candidate structures for the workload.
+func EnumerateCandidates(cat *Catalog, w *Workload, opts CandidateOptions) []Structure {
+	analyses := make([]*sqlparse.Analysis, len(w.Queries))
+	for i, q := range w.Queries {
+		analyses[i] = q.Analysis
+	}
+	return physical.EnumerateCandidates(cat, analyses, opts)
+}
+
+// GenerateConfigurations draws k distinct candidate configurations — the
+// stand-in for a tuning tool's enumeration.
+func GenerateConfigurations(cat *Catalog, candidates []Structure, k int, seed uint64, opts SpaceOptions) []*Configuration {
+	return physical.GenerateSpace(cat, candidates, k, stats.NewRNG(seed), opts)
+}
+
+// ComputeCostMatrix evaluates every query under every configuration — the
+// exhaustive approach the primitive avoids; exposed for ground-truth
+// computation and experimentation.
+func ComputeCostMatrix(opt *Optimizer, w *Workload, configs []*Configuration) *CostMatrix {
+	return workload.ComputeCostMatrix(opt, w, configs)
+}
+
+// DefaultOptions returns the paper's Section 7.2 protocol (Delta Sampling,
+// progressive stratification, α=0.9, stability window 10, elimination at
+// 0.995).
+func DefaultOptions(seed uint64) Options { return core.DefaultOptions(seed) }
+
+// Select runs the probabilistic comparison primitive: it returns the
+// configuration with the lowest workload cost with probability ≥ α.
+func Select(opt *Optimizer, w *Workload, configs []*Configuration, o Options) (*Selection, error) {
+	return core.Select(opt, w, configs, o)
+}
+
+// SelectTraced is Select with a per-sample Pr(CS) trace.
+func SelectTraced(opt *Optimizer, w *Workload, configs []*Configuration, o Options) (*Selection, error) {
+	return core.SelectTraced(opt, w, configs, o)
+}
+
+// CompressTopCost applies the DB2-advisor top-cost compression baseline
+// ([20]): keep the most expensive queries until fraction x of total cost.
+func CompressTopCost(w *Workload, costs []float64, x float64) *Compressed {
+	return compress.TopCost(w, costs, x)
+}
+
+// CompressCluster applies the clustering compression baseline ([5]).
+func CompressCluster(w *Workload, costs []float64, k int) *Compressed {
+	return compress.Cluster(w, costs, k)
+}
+
+// TuneGreedy runs the greedy physical-design tuner over the workload with
+// optional per-query weights.
+func TuneGreedy(opt *Optimizer, cat *Catalog, w *Workload, weights []float64, candidates []Structure, o TunerOptions) *TunerResult {
+	return tuner.Greedy(opt, cat, w, weights, candidates, o)
+}
+
+// EvaluateImprovement scores a configuration's relative cost reduction on a
+// workload against the empty configuration.
+func EvaluateImprovement(opt *Optimizer, w *Workload, cfg *Configuration) float64 {
+	return tuner.EvaluateOn(opt, w, cfg)
+}
+
+// TuneGreedySampled tunes the workload with every greedy decision made by
+// the comparison primitive instead of exhaustive evaluation — the paper's
+// "core comparison primitive inside an automated physical design tool" use
+// case.
+func TuneGreedySampled(opt *Optimizer, w *Workload, candidates []Structure, o SampledTunerOptions) (*SampledTunerResult, error) {
+	return tuner.GreedySampled(opt, w, candidates, o)
+}
+
+// Explain returns the plan the cost model chooses for one statement under
+// a configuration; Plan.Total equals the statement's estimated cost.
+func Explain(opt *Optimizer, q *Query, cfg *Configuration) *Plan {
+	return opt.Explain(q.Analysis, cfg)
+}
