@@ -2,9 +2,13 @@
 
 GO ?= go
 
-.PHONY: all build test vet fmt bench experiments experiments-paper cover clean
+.PHONY: all check build test test-race vet fmt bench experiments experiments-paper cover clean
 
 all: build vet test
+
+# Full pre-commit gate: build, vet, tests, and the race detector over the
+# internal packages (where all the concurrency lives).
+check: build vet test test-race
 
 build:
 	$(GO) build ./...
@@ -17,6 +21,9 @@ fmt:
 
 test:
 	$(GO) test ./...
+
+test-race:
+	$(GO) test -race ./internal/...
 
 bench:
 	$(GO) test -bench=. -benchmem ./...

@@ -5,10 +5,16 @@
 //
 //	benchrunner [-exp all|table1|fig1|fig2|fig3|fig4|table2|table3|sec73|clt|elim|stability|rho]
 //	            [-quick|-paper] [-seed N] [-repeats N]
+//	            [-profile cpu.pprof] [-heap-profile heap.pprof] [-metrics]
 //
 // Quick mode (default) uses reduced workload sizes and Monte-Carlo repeat
 // counts so the full suite finishes in minutes; -paper switches to the
 // paper's sizes (13K/6K queries, 5000 repeats, k up to 500).
+//
+// -profile records a CPU profile of the whole run (and -heap-profile a
+// heap profile at exit) for `go tool pprof`; -metrics attaches a registry
+// to the scenario optimizers and prints its Prometheus text exposition on
+// stderr when the run finishes.
 package main
 
 import (
@@ -17,7 +23,9 @@ import (
 	"os"
 	"time"
 
+	"physdes/internal/bounds"
 	"physdes/internal/experiments"
+	"physdes/internal/obs"
 )
 
 func main() {
@@ -27,6 +35,9 @@ func main() {
 		seed    = flag.Uint64("seed", 1, "random seed")
 		repeats = flag.Int("repeats", 0, "override Monte-Carlo repeats")
 		csvDir  = flag.String("csv", "", "also write each experiment's data as CSV into this directory")
+		profile = flag.String("profile", "", "write a CPU profile of the run to this file")
+		heap    = flag.String("heap-profile", "", "write a heap profile at exit to this file")
+		metrics = flag.Bool("metrics", false, "print the metrics registry (Prometheus text format) on stderr at exit")
 	)
 	flag.Parse()
 
@@ -39,13 +50,52 @@ func main() {
 		p.Repeats = *repeats
 	}
 
-	if err := run(*exp, p, *csvDir); err != nil {
+	var reg *obs.Registry
+	if *metrics {
+		reg = obs.NewRegistry()
+		bounds.SetMetrics(reg)
+	}
+	var stopProfile func() error
+	if *profile != "" {
+		stop, err := obs.StartCPUProfile(*profile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchrunner:", err)
+			os.Exit(1)
+		}
+		stopProfile = stop
+	}
+
+	err := run(*exp, p, *csvDir, reg)
+
+	if stopProfile != nil {
+		if perr := stopProfile(); perr != nil {
+			if err == nil {
+				err = perr
+			}
+		} else {
+			fmt.Fprintf(os.Stderr, "# wrote CPU profile to %s\n", *profile)
+		}
+	}
+	if *heap != "" {
+		if herr := obs.WriteHeapProfile(*heap); herr != nil {
+			if err == nil {
+				err = herr
+			}
+		} else {
+			fmt.Fprintf(os.Stderr, "# wrote heap profile to %s\n", *heap)
+		}
+	}
+	if reg != nil {
+		fmt.Fprintln(os.Stderr, "# metrics")
+		reg.WriteProm(os.Stderr)
+	}
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "benchrunner:", err)
 		os.Exit(1)
 	}
 }
 
-func run(exp string, p experiments.Params, csvDir string) error {
+func run(exp string, p experiments.Params, csvDir string, reg *obs.Registry) error {
 	writeCSV := func(name string, fn func() error) {
 		if csvDir == "" {
 			return
@@ -71,6 +121,9 @@ func run(exp string, p experiments.Params, csvDir string) error {
 		if err != nil {
 			return err
 		}
+		if reg != nil {
+			tpcd.Opt.SetMetrics(reg)
+		}
 		fmt.Fprintf(out, "# TPC-D scenario: %d queries, %d templates, %d candidates (built in %v)\n\n",
 			tpcd.W.Size(), tpcd.W.NumTemplates(), len(tpcd.Candidates), time.Since(start).Round(time.Millisecond))
 	}
@@ -79,6 +132,9 @@ func run(exp string, p experiments.Params, csvDir string) error {
 		crm, err = experiments.CRMScenario(p)
 		if err != nil {
 			return err
+		}
+		if reg != nil {
+			crm.Opt.SetMetrics(reg)
 		}
 		fmt.Fprintf(out, "# CRM scenario: %d statements, %d templates (built in %v)\n\n",
 			crm.W.Size(), crm.W.NumTemplates(), time.Since(start).Round(time.Millisecond))

@@ -6,13 +6,17 @@
 //	physdes gen     -db tpcd|crm -n 13000 -seed 1 -out workload.jsonl
 //	physdes select  -db tpcd|crm -n 13000 -k 50 [-alpha .9] [-delta 0]
 //	                [-scheme delta|independent] [-strat none|progressive|fine]
-//	                [-conservative] [-seed 1]
+//	                [-conservative] [-trace events.jsonl] [-metrics] [-seed 1]
 //	physdes explore -db tpcd|crm -n 2600 -k 20 [-seed 1]
 //
 // gen writes a workload table to disk (the Section 5 preprocessing format);
 // select runs the comparison primitive over a generated configuration space
 // and reports the decision with its optimizer-call accounting; explore
-// prints the Pr(CS) trace and elimination diagnostics of a run.
+// prints the Pr(CS) trace and elimination diagnostics of a run. On both,
+// -trace writes a JSONL log of every sampling round, split, elimination
+// and allocation decision, and -metrics prints the run's counters
+// (optimizer calls and latency, sampler activity) in Prometheus text
+// format.
 package main
 
 import (
@@ -62,8 +66,8 @@ func usage() {
   physdes gen     -db tpcd|crm -n N -seed S -out FILE
   physdes select  -db tpcd|crm -n N -k K [-alpha A] [-delta D]
                   [-scheme delta|independent] [-strat none|progressive|fine]
-                  [-conservative] [-seed S]
-  physdes explore -db tpcd|crm -n N -k K [-seed S]
+                  [-conservative] [-trace FILE] [-metrics] [-seed S]
+  physdes explore -db tpcd|crm -n N -k K [-trace FILE] [-metrics] [-seed S]
   physdes explain -db tpcd|crm -q "SELECT ..." [-config rec.json]
   physdes tune    -db tpcd|crm -n N [-mode sampled|exhaustive] [-max M]
                   [-out rec.json] [-seed S]
@@ -375,6 +379,8 @@ func cmdSelect(args []string, explore bool) error {
 	strat := fs.String("strat", "progressive", "stratification: none, progressive or fine")
 	conservative := fs.Bool("conservative", false, "enable Section 6 conservative bounds")
 	outFile := fs.String("out", "", "write the selected configuration as JSON")
+	traceFile := fs.String("trace", "", "write structured JSONL selection events to this file")
+	metrics := fs.Bool("metrics", false, "print the metrics snapshot (Prometheus text format) after the run")
 	seed := fs.Uint64("seed", 1, "random seed")
 	fs.Parse(args)
 
@@ -424,6 +430,20 @@ func cmdSelect(args []string, explore bool) error {
 		return fmt.Errorf("unknown stratification %q", *strat)
 	}
 
+	var reg *physdes.MetricsRegistry
+	if *metrics {
+		reg = physdes.NewMetricsRegistry()
+		o.Metrics = reg
+	}
+	if *traceFile != "" {
+		f, err := os.Create(*traceFile)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		o.Tracer = physdes.NewTracer(f)
+	}
+
 	var sel *physdes.Selection
 	if explore {
 		sel, err = physdes.SelectTraced(opt, w, configs, o)
@@ -432,6 +452,11 @@ func cmdSelect(args []string, explore bool) error {
 	}
 	if err != nil {
 		return err
+	}
+	if o.Tracer != nil {
+		if err := o.Tracer.Flush(); err != nil {
+			return fmt.Errorf("trace: %w", err)
+		}
 	}
 
 	fmt.Printf("\nselected: %s  (Pr(CS) = %.3f ≥ α = %.2f)\n", sel.Best.Name(), sel.PrCS, *alpha)
@@ -467,6 +492,15 @@ func cmdSelect(args []string, explore bool) error {
 		fmt.Println("\nPr(CS) trace (every 10th sample):")
 		for i := 0; i < len(sel.PrCSTrace); i += 10 {
 			fmt.Printf("  sample %4d: %.3f\n", i+1, sel.PrCSTrace[i])
+		}
+	}
+	if *traceFile != "" {
+		fmt.Printf("  wrote trace to %s\n", *traceFile)
+	}
+	if reg != nil {
+		fmt.Println("\nmetrics:")
+		if err := reg.WriteProm(os.Stdout); err != nil {
+			return err
 		}
 	}
 	return nil

@@ -1,0 +1,165 @@
+package core
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"physdes/internal/obs"
+	"physdes/internal/optimizer"
+)
+
+// TestSelectObservability runs the primitive with the full observability
+// stack and checks the contract: one round event per sampling round with
+// round index, cumulative optimizer calls and Pr(CS); a select span; and
+// a metrics snapshot whose optimizer_calls_total matches both
+// Optimizer.Calls() and Selection.OptimizerCalls.
+func TestSelectObservability(t *testing.T) {
+	opt, w, space := scenario(t, 400, 3, 5)
+
+	var buf bytes.Buffer
+	reg := obs.NewRegistry()
+	o := DefaultOptions(11)
+	o.TracePrCS = true
+	o.Tracer = obs.NewTracer(&buf)
+	o.Metrics = reg
+
+	sel, err := Select(opt, w, space, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := o.Tracer.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	var rounds, spansBegun, spansEnded int
+	lastRound, lastCalls := 0.0, 0.0
+	sc := bufio.NewScanner(&buf)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		var rec map[string]any
+		if err := json.Unmarshal(sc.Bytes(), &rec); err != nil {
+			t.Fatalf("invalid JSONL event %q: %v", sc.Text(), err)
+		}
+		switch rec["ev"] {
+		case "round":
+			rounds++
+			r, okR := rec["round"].(float64)
+			calls, okC := rec["calls"].(float64)
+			prcs, okP := rec["prcs"].(float64)
+			if !okR || !okC || !okP {
+				t.Fatalf("round event missing fields: %v", rec)
+			}
+			if r != lastRound+1 {
+				t.Fatalf("round index jumped from %v to %v", lastRound, r)
+			}
+			if calls < lastCalls {
+				t.Fatalf("cumulative calls decreased: %v → %v", lastCalls, calls)
+			}
+			if prcs < 0 || prcs > 1 {
+				t.Fatalf("Pr(CS) out of range: %v", prcs)
+			}
+			lastRound, lastCalls = r, calls
+		case "select.begin":
+			spansBegun++
+		case "select.end":
+			spansEnded++
+			if rec["calls"] != float64(sel.OptimizerCalls) {
+				t.Errorf("select.end calls = %v, want %d", rec["calls"], sel.OptimizerCalls)
+			}
+		}
+	}
+	if rounds == 0 {
+		t.Fatal("no round events emitted")
+	}
+	if spansBegun != 1 || spansEnded != 1 {
+		t.Fatalf("select span events: begin=%d end=%d, want 1/1", spansBegun, spansEnded)
+	}
+	// One event per sampling round: the PrCS trace and the round events
+	// describe the same loop.
+	if rounds != len(sel.PrCSTrace) {
+		t.Errorf("round events (%d) != PrCS trace length (%d)", rounds, len(sel.PrCSTrace))
+	}
+
+	snap := reg.Snapshot()
+	if got := snap.Counters["optimizer_calls_total"]; got != opt.Calls() {
+		t.Errorf("optimizer_calls_total = %d, want Optimizer.Calls() = %d", got, opt.Calls())
+	}
+	if got := snap.Counters["optimizer_calls_total"]; got != sel.OptimizerCalls {
+		t.Errorf("optimizer_calls_total = %d, want Selection.OptimizerCalls = %d", got, sel.OptimizerCalls)
+	}
+	if snap.Counters["sampling_samples_total"] == 0 {
+		t.Error("sampling_samples_total not recorded")
+	}
+	if snap.Counters["sampling_rounds_total"] != int64(rounds) {
+		t.Errorf("sampling_rounds_total = %d, want %d", snap.Counters["sampling_rounds_total"], rounds)
+	}
+	hist := snap.Histograms["optimizer_cost_seconds"]
+	if hist.Count != sel.OptimizerCalls {
+		t.Errorf("optimizer_cost_seconds count = %d, want %d", hist.Count, sel.OptimizerCalls)
+	}
+}
+
+// TestSelectTracedComposition pins the satellite refactor: SelectTraced
+// is exactly Select with Options.TracePrCS, so both spellings agree.
+func TestSelectTracedComposition(t *testing.T) {
+	opt, w, space := scenario(t, 300, 3, 6)
+	selA, err := SelectTraced(opt, w, space, DefaultOptions(13))
+	if err != nil {
+		t.Fatal(err)
+	}
+	o := DefaultOptions(13)
+	o.TracePrCS = true
+	selB, err := Select(optimizerClone(opt), w, space, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if selA.BestIndex != selB.BestIndex || selA.PrCS != selB.PrCS ||
+		len(selA.PrCSTrace) != len(selB.PrCSTrace) {
+		t.Errorf("SelectTraced and Select{TracePrCS} diverge: %v/%v vs %v/%v",
+			selA.BestIndex, selA.PrCS, selB.BestIndex, selB.PrCS)
+	}
+	if len(selA.PrCSTrace) == 0 {
+		t.Error("PrCS trace empty")
+	}
+}
+
+// TestSelectConservativeTraced checks the derive_bounds span and the DP
+// timing metrics in conservative mode.
+func TestSelectConservativeTraced(t *testing.T) {
+	opt, w, space := scenario(t, 200, 3, 7)
+	var buf bytes.Buffer
+	reg := obs.NewRegistry()
+	o := DefaultOptions(17)
+	o.Conservative = true
+	o.Rho = 50
+	o.Tracer = obs.NewTracer(&buf)
+	o.Metrics = reg
+	if _, err := Select(opt, w, space, o); err != nil {
+		t.Fatal(err)
+	}
+	o.Tracer.Flush()
+	out := buf.String()
+	if !bytes.Contains([]byte(out), []byte(`"ev":"derive_bounds.begin"`)) ||
+		!bytes.Contains([]byte(out), []byte(`"ev":"derive_bounds.end"`)) {
+		t.Error("conservative mode did not emit the derive_bounds span")
+	}
+	snap := reg.Snapshot()
+	foundDP := false
+	for name := range snap.Histograms {
+		if len(name) >= len("bounds_sigma_max_dp_seconds") &&
+			name[:len("bounds_sigma_max_dp_seconds")] == "bounds_sigma_max_dp_seconds" {
+			foundDP = true
+		}
+	}
+	if !foundDP {
+		t.Errorf("σ²_max DP timing not exported; histograms: %v", snap.Histograms)
+	}
+}
+
+// optimizerClone returns a fresh optimizer over the same catalog so two
+// runs get identical costs with independent call accounting.
+func optimizerClone(opt *optimizer.Optimizer) *optimizer.Optimizer {
+	return optimizer.New(opt.Catalog())
+}

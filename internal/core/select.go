@@ -15,6 +15,7 @@ import (
 	"fmt"
 
 	"physdes/internal/bounds"
+	"physdes/internal/obs"
 	"physdes/internal/optimizer"
 	"physdes/internal/physical"
 	"physdes/internal/sampling"
@@ -58,6 +59,21 @@ type Options struct {
 	// Rho is the DP granularity for conservative mode (default 1.0 cost
 	// units).
 	Rho float64
+	// TracePrCS records the Pr(CS) evolution into Selection.PrCSTrace
+	// (what SelectTraced toggles). It composes freely with Tracer.
+	TracePrCS bool
+	// Tracer, when non-nil, receives structured JSONL events for the whole
+	// selection: a select span, conservative bound derivation, and the
+	// samplers' per-round, split, elimination and allocation events. The
+	// nil default costs the hot path one nil-check.
+	Tracer *obs.Tracer
+	// Metrics, when non-nil, is the registry the selection exports its
+	// counters on: the optimizer's call counter and cost-latency histogram
+	// are attached to the optimizer for the session, the samplers register
+	// their sample/round/split/elimination counters, and conservative mode
+	// exports the σ²_max DP timings (a package-level hook in
+	// internal/bounds).
+	Metrics *obs.Registry
 }
 
 func (o Options) withDefaults() Options {
@@ -140,17 +156,10 @@ func DefaultOptions(seed uint64) Options {
 }
 
 // Select runs the comparison primitive over the workload and candidate
-// configurations.
+// configurations. Observability is configured through Options: TracePrCS
+// for the Pr(CS) trace, Tracer for structured events, Metrics for the
+// counter registry — all three compose.
 func Select(opt *optimizer.Optimizer, w *workload.Workload, configs []*physical.Configuration, o Options) (*Selection, error) {
-	return doSelect(opt, w, configs, o, false)
-}
-
-// SelectTraced is Select with a Pr(CS) trace.
-func SelectTraced(opt *optimizer.Optimizer, w *workload.Workload, configs []*physical.Configuration, o Options) (*Selection, error) {
-	return doSelect(opt, w, configs, o, true)
-}
-
-func doSelect(opt *optimizer.Optimizer, w *workload.Workload, configs []*physical.Configuration, o Options, trace bool) (*Selection, error) {
 	o = o.withDefaults()
 	if w == nil || w.Size() == 0 {
 		return nil, errors.New("core: empty workload")
@@ -160,6 +169,18 @@ func doSelect(opt *optimizer.Optimizer, w *workload.Workload, configs []*physica
 	}
 	// Account calls from zero for this selection.
 	opt.ResetCalls()
+	if o.Metrics != nil {
+		opt.SetMetrics(o.Metrics)
+	}
+
+	span := o.Tracer.Begin("select",
+		obs.KV{Key: "n", Value: w.Size()},
+		obs.KV{Key: "k", Value: len(configs)},
+		obs.KV{Key: "scheme", Value: o.Scheme.String()},
+		obs.KV{Key: "strat", Value: o.Strat.String()},
+		obs.KV{Key: "alpha", Value: o.Alpha},
+		obs.KV{Key: "delta", Value: o.Delta},
+		obs.KV{Key: "conservative", Value: o.Conservative})
 
 	oracle := sampling.NewLiveOracle(opt, w, configs)
 	sOpts := sampling.Options{
@@ -174,6 +195,9 @@ func doSelect(opt *optimizer.Optimizer, w *workload.Workload, configs []*physica
 		RNG:                  stats.NewRNG(o.Seed),
 		TemplateIndex:        w.TemplateIndexOf(),
 		TemplateCount:        w.NumTemplates(),
+		TracePrCS:            o.TracePrCS,
+		Tracer:               o.Tracer,
+		Metrics:              o.Metrics,
 	}
 
 	sel := &Selection{ExhaustiveCalls: int64(w.Size()) * int64(len(configs))}
@@ -190,13 +214,7 @@ func doSelect(opt *optimizer.Optimizer, w *workload.Workload, configs []*physica
 		}
 	}
 
-	var res *sampling.Result
-	var err error
-	if trace {
-		res, err = sampling.RunTraced(oracle, sOpts)
-	} else {
-		res, err = sampling.Run(oracle, sOpts)
-	}
+	res, err := sampling.Run(oracle, sOpts)
 	if err != nil {
 		return nil, fmt.Errorf("core: %w", err)
 	}
@@ -210,13 +228,30 @@ func doSelect(opt *optimizer.Optimizer, w *workload.Workload, configs []*physica
 	sel.Strata = res.Strata
 	sel.Splits = res.Splits
 	sel.PrCSTrace = res.PrCSTrace
+
+	span.End(
+		obs.KV{Key: "best", Value: sel.BestIndex},
+		obs.KV{Key: "prcs", Value: sel.PrCS},
+		obs.KV{Key: "sampled", Value: sel.SampledQueries},
+		obs.KV{Key: "calls", Value: sel.OptimizerCalls},
+		obs.KV{Key: "exhaustive", Value: sel.ExhaustiveCalls})
 	return sel, nil
+}
+
+// SelectTraced is Select with the Pr(CS) trace enabled (Options.TracePrCS).
+func SelectTraced(opt *optimizer.Optimizer, w *workload.Workload, configs []*physical.Configuration, o Options) (*Selection, error) {
+	o.TracePrCS = true
+	return Select(opt, w, configs, o)
 }
 
 // applyConservative derives Section 6 bounds and wires them into the
 // sampling options: the σ²_max upper bound replaces smaller sample
 // variances, and Equation 9's sample-size floor gates termination.
 func applyConservative(opt *optimizer.Optimizer, w *workload.Workload, configs []*physical.Configuration, o Options, sOpts *sampling.Options, sel *Selection) error {
+	if o.Metrics != nil {
+		bounds.SetMetrics(o.Metrics)
+	}
+	span := o.Tracer.Begin("derive_bounds", obs.KV{Key: "rho", Value: o.Rho})
 	d := bounds.NewDeriver(opt, configs...)
 	ivs := d.WorkloadIntervals(w)
 
@@ -243,6 +278,10 @@ func applyConservative(opt *optimizer.Optimizer, w *workload.Workload, configs [
 	}
 	sel.CLTMinSamples = cltMin
 	sel.OptimizerCalls = opt.Calls() // bound-derivation calls so far
+	span.End(
+		obs.KV{Key: "variance_bound", Value: sel.VarianceBound},
+		obs.KV{Key: "clt_min_samples", Value: cltMin},
+		obs.KV{Key: "calls", Value: sel.OptimizerCalls})
 
 	bound := sel.VarianceBound
 	sOpts.VarianceBound = func(pair [2]int, n int) (float64, bool) {

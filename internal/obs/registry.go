@@ -1,0 +1,462 @@
+// Package obs is the zero-dependency observability layer: a metrics
+// registry (atomic counters, gauges and log-bucketed histograms with a
+// Prometheus-style text exposition and a JSON snapshot), a structured
+// JSONL event tracer with span support, and CPU/heap profiling hooks.
+//
+// The package is built for instrumenting the comparison primitive's hot
+// paths: every handle is nil-safe, so a disabled registry or tracer costs
+// the instrumented code exactly one nil-check per operation and zero
+// allocations. Code holds *Counter / *Gauge / *Histogram handles resolved
+// once at setup time; a nil *Registry resolves every handle to nil, and
+// nil handles no-op.
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing atomic counter. The nil Counter
+// is a valid no-op.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Add increments the counter by n (no-op on nil).
+func (c *Counter) Add(n int64) {
+	if c != nil {
+		c.v.Add(n)
+	}
+}
+
+// Inc increments the counter by one (no-op on nil).
+func (c *Counter) Inc() { c.Add(1) }
+
+// Value returns the current count (0 on nil).
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is an atomic float64 gauge. The nil Gauge is a valid no-op.
+type Gauge struct {
+	bits atomic.Uint64
+}
+
+// Set stores v (no-op on nil).
+func (g *Gauge) Set(v float64) {
+	if g != nil {
+		g.bits.Store(math.Float64bits(v))
+	}
+}
+
+// Add increments the gauge by d (no-op on nil).
+func (g *Gauge) Add(d float64) {
+	if g == nil {
+		return
+	}
+	for {
+		old := g.bits.Load()
+		nv := math.Float64bits(math.Float64frombits(old) + d)
+		if g.bits.CompareAndSwap(old, nv) {
+			return
+		}
+	}
+}
+
+// Value returns the current gauge value (0 on nil).
+func (g *Gauge) Value() float64 {
+	if g == nil {
+		return 0
+	}
+	return math.Float64frombits(g.bits.Load())
+}
+
+// Histogram bucket layout: one bucket per power-of-two magnitude.
+// histMinExp..histMaxExp are the binary exponents covered; values below
+// 2^histMinExp land in the first bucket, values ≥ 2^histMaxExp in the
+// last (overflow) bucket. With [-32, 32) the range spans ~2.3e-10 to
+// ~4.3e9 — nanoseconds to hours when observing seconds, and the full
+// span of optimizer cost units.
+const (
+	histMinExp = -32
+	histMaxExp = 32
+	histBucket = histMaxExp - histMinExp + 1 // +1 for overflow
+)
+
+// Histogram is a log-bucketed (base-2) histogram of float64 observations.
+// Buckets are cumulative in the exposition, matching the Prometheus
+// convention. The nil Histogram is a valid no-op.
+type Histogram struct {
+	buckets [histBucket]atomic.Int64
+	count   atomic.Int64
+	sumBits atomic.Uint64 // float64 bits, CAS-updated
+}
+
+// bucketIndex maps an observation to its bucket: values in
+// [2^e, 2^(e+1)) share bucket e−histMinExp.
+func bucketIndex(v float64) int {
+	if v <= 0 || math.IsNaN(v) {
+		return 0
+	}
+	e := math.Ilogb(v)
+	if e < histMinExp {
+		return 0
+	}
+	if e >= histMaxExp {
+		return histBucket - 1
+	}
+	return e - histMinExp
+}
+
+// BucketUpperBound returns the exclusive upper bound of bucket i:
+// 2^(i+histMinExp+1), or +Inf for the overflow bucket.
+func BucketUpperBound(i int) float64 {
+	if i >= histBucket-1 {
+		return math.Inf(1)
+	}
+	return math.Ldexp(1, i+histMinExp+1)
+}
+
+// Observe records one observation (no-op on nil).
+func (h *Histogram) Observe(v float64) {
+	if h == nil {
+		return
+	}
+	h.buckets[bucketIndex(v)].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sumBits.Load()
+		nv := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sumBits.CompareAndSwap(old, nv) {
+			return
+		}
+	}
+}
+
+// Count returns the number of observations (0 on nil).
+func (h *Histogram) Count() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// Sum returns the sum of all observations (0 on nil).
+func (h *Histogram) Sum() float64 {
+	if h == nil {
+		return 0
+	}
+	return math.Float64frombits(h.sumBits.Load())
+}
+
+// Quantile returns an upper bound on the q-quantile (0 ≤ q ≤ 1) from the
+// bucket counts: the upper bound of the first bucket whose cumulative
+// count reaches q·N. Returns 0 when empty.
+func (h *Histogram) Quantile(q float64) float64 {
+	if h == nil {
+		return 0
+	}
+	total := h.count.Load()
+	if total == 0 {
+		return 0
+	}
+	want := int64(math.Ceil(q * float64(total)))
+	if want < 1 {
+		want = 1
+	}
+	var cum int64
+	for i := 0; i < histBucket; i++ {
+		cum += h.buckets[i].Load()
+		if cum >= want {
+			return BucketUpperBound(i)
+		}
+	}
+	return math.Inf(1)
+}
+
+// HistogramSnapshot is the JSON form of a histogram: non-empty buckets
+// keyed by their exclusive upper bound.
+type HistogramSnapshot struct {
+	Count   int64            `json:"count"`
+	Sum     float64          `json:"sum"`
+	Buckets map[string]int64 `json:"buckets,omitempty"`
+}
+
+// Snapshot is a point-in-time copy of a registry's metrics, marshalable
+// with encoding/json.
+type Snapshot struct {
+	Counters   map[string]int64             `json:"counters,omitempty"`
+	Gauges     map[string]float64           `json:"gauges,omitempty"`
+	Histograms map[string]HistogramSnapshot `json:"histograms,omitempty"`
+}
+
+// Registry is a threadsafe named-metric registry. The nil Registry is a
+// valid no-op: every lookup returns a nil handle.
+type Registry struct {
+	mu         sync.RWMutex
+	counters   map[string]*Counter
+	gauges     map[string]*Gauge
+	histograms map[string]*Histogram
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters:   make(map[string]*Counter),
+		gauges:     make(map[string]*Gauge),
+		histograms: make(map[string]*Histogram),
+	}
+}
+
+// Counter returns the named counter, creating it on first use
+// (nil on a nil registry).
+func (r *Registry) Counter(name string) *Counter {
+	if r == nil {
+		return nil
+	}
+	r.mu.RLock()
+	c := r.counters[name]
+	r.mu.RUnlock()
+	if c != nil {
+		return c
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if c = r.counters[name]; c == nil {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns the named gauge, creating it on first use
+// (nil on a nil registry).
+func (r *Registry) Gauge(name string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	r.mu.RLock()
+	g := r.gauges[name]
+	r.mu.RUnlock()
+	if g != nil {
+		return g
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if g = r.gauges[name]; g == nil {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// Histogram returns the named histogram, creating it on first use
+// (nil on a nil registry).
+func (r *Registry) Histogram(name string) *Histogram {
+	if r == nil {
+		return nil
+	}
+	r.mu.RLock()
+	h := r.histograms[name]
+	r.mu.RUnlock()
+	if h != nil {
+		return h
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if h = r.histograms[name]; h == nil {
+		h = &Histogram{}
+		r.histograms[name] = h
+	}
+	return h
+}
+
+// WithLabel formats a metric name with one Prometheus-style label:
+// name{key="value"}. Distinct label values yield distinct metrics.
+func WithLabel(name, key, value string) string {
+	return fmt.Sprintf("%s{%s=%q}", name, key, value)
+}
+
+// Snapshot copies the registry's current state (empty on nil).
+func (r *Registry) Snapshot() Snapshot {
+	s := Snapshot{
+		Counters:   map[string]int64{},
+		Gauges:     map[string]float64{},
+		Histograms: map[string]HistogramSnapshot{},
+	}
+	if r == nil {
+		return s
+	}
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	for name, c := range r.counters {
+		s.Counters[name] = c.Value()
+	}
+	for name, g := range r.gauges {
+		s.Gauges[name] = g.Value()
+	}
+	for name, h := range r.histograms {
+		hs := HistogramSnapshot{Count: h.Count(), Sum: h.Sum(), Buckets: map[string]int64{}}
+		for i := 0; i < histBucket; i++ {
+			if n := h.buckets[i].Load(); n > 0 {
+				hs.Buckets[formatBound(BucketUpperBound(i))] = n
+			}
+		}
+		s.Histograms[name] = hs
+	}
+	return s
+}
+
+// WriteJSON writes the snapshot as indented JSON.
+func (r *Registry) WriteJSON(w io.Writer) error {
+	data, err := json.MarshalIndent(r.Snapshot(), "", "  ")
+	if err != nil {
+		return err
+	}
+	_, err = w.Write(append(data, '\n'))
+	return err
+}
+
+// WriteProm writes the registry in the Prometheus text exposition format
+// (sorted by metric name; histograms emit cumulative le buckets, _sum and
+// _count series). A nil registry writes nothing.
+func (r *Registry) WriteProm(w io.Writer) error {
+	if r == nil {
+		return nil
+	}
+	r.mu.RLock()
+	counters := make(map[string]int64, len(r.counters))
+	for name, c := range r.counters {
+		counters[name] = c.Value()
+	}
+	gauges := make(map[string]float64, len(r.gauges))
+	for name, g := range r.gauges {
+		gauges[name] = g.Value()
+	}
+	type histCopy struct {
+		buckets [histBucket]int64
+		count   int64
+		sum     float64
+	}
+	hists := make(map[string]*histCopy, len(r.histograms))
+	for name, h := range r.histograms {
+		hc := &histCopy{count: h.Count(), sum: h.Sum()}
+		for i := range hc.buckets {
+			hc.buckets[i] = h.buckets[i].Load()
+		}
+		hists[name] = hc
+	}
+	r.mu.RUnlock()
+
+	// Labeled series of one family sort adjacently, so a TYPE comment is
+	// emitted only when the base name changes.
+	lastType := ""
+	typeLine := func(base, kind string) error {
+		if base == lastType {
+			return nil
+		}
+		lastType = base
+		_, err := fmt.Fprintf(w, "# TYPE %s %s\n", base, kind)
+		return err
+	}
+	for _, name := range sortedKeys(counters) {
+		base, _ := splitName(name)
+		if err := typeLine(base, "counter"); err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintf(w, "%s %d\n", name, counters[name]); err != nil {
+			return err
+		}
+	}
+	lastType = ""
+	for _, name := range sortedKeys(gauges) {
+		base, _ := splitName(name)
+		if err := typeLine(base, "gauge"); err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintf(w, "%s %s\n", name, formatFloat(gauges[name])); err != nil {
+			return err
+		}
+	}
+	lastType = ""
+	for _, name := range sortedKeys(hists) {
+		hc := hists[name]
+		base, labels := splitName(name)
+		if err := typeLine(base, "histogram"); err != nil {
+			return err
+		}
+		var cum int64
+		for i := 0; i < histBucket; i++ {
+			cum += hc.buckets[i]
+			// Elide empty leading/inner buckets to keep the exposition
+			// readable; cumulative counts stay correct because cum carries.
+			if hc.buckets[i] == 0 && i != histBucket-1 {
+				continue
+			}
+			le := fmt.Sprintf("le=%q", formatBound(BucketUpperBound(i)))
+			if _, err := fmt.Fprintf(w, "%s %d\n", seriesName(base, labels, "_bucket", le), cum); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "%s %s\n%s %d\n",
+			seriesName(base, labels, "_sum", ""), formatFloat(hc.sum),
+			seriesName(base, labels, "_count", ""), hc.count); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func sortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// splitName splits a registered metric name into its base and an
+// optional {label} suffix (returned without the braces).
+func splitName(name string) (base, labels string) {
+	for i, r := range name {
+		if r == '{' {
+			return name[:i], name[i+1 : len(name)-1]
+		}
+	}
+	return name, ""
+}
+
+// seriesName builds "<base><suffix>{labels,extra}": Prometheus requires
+// the _bucket/_sum/_count suffix before the label set, with le merged
+// into any labels the metric was registered with.
+func seriesName(base, labels, suffix, extra string) string {
+	switch {
+	case labels == "" && extra == "":
+		return base + suffix
+	case labels == "":
+		return base + suffix + "{" + extra + "}"
+	case extra == "":
+		return base + suffix + "{" + labels + "}"
+	}
+	return base + suffix + "{" + labels + "," + extra + "}"
+}
+
+func formatBound(v float64) string {
+	if math.IsInf(v, 1) {
+		return "+Inf"
+	}
+	return formatFloat(v)
+}
+
+func formatFloat(v float64) string {
+	return fmt.Sprintf("%g", v)
+}

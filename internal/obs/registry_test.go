@@ -1,0 +1,249 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// TestCounterConcurrency hammers one counter from many goroutines; run
+// under -race this also proves the registry lookup path is safe.
+func TestCounterConcurrency(t *testing.T) {
+	r := NewRegistry()
+	const workers, perWorker = 16, 10_000
+	var wg sync.WaitGroup
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			// Resolve through the registry each time to exercise the
+			// read-lock fast path concurrently with creation.
+			c := r.Counter("hits_total")
+			for j := 0; j < perWorker; j++ {
+				c.Inc()
+			}
+		}()
+	}
+	wg.Wait()
+	if got := r.Counter("hits_total").Value(); got != workers*perWorker {
+		t.Fatalf("counter = %d, want %d", got, workers*perWorker)
+	}
+}
+
+func TestGaugeAndHistogramConcurrency(t *testing.T) {
+	r := NewRegistry()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			g := r.Gauge("level")
+			h := r.Histogram("lat")
+			for j := 0; j < 1000; j++ {
+				g.Add(1)
+				h.Observe(0.5)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := r.Gauge("level").Value(); got != 8000 {
+		t.Fatalf("gauge = %v, want 8000", got)
+	}
+	h := r.Histogram("lat")
+	if h.Count() != 8000 {
+		t.Fatalf("histogram count = %d, want 8000", h.Count())
+	}
+	if math.Abs(h.Sum()-4000) > 1e-9 {
+		t.Fatalf("histogram sum = %v, want 4000", h.Sum())
+	}
+}
+
+// TestHistogramBucketBoundaries pins the base-2 bucket layout: a value in
+// [2^e, 2^(e+1)) must land in the bucket whose exclusive upper bound is
+// 2^(e+1).
+func TestHistogramBucketBoundaries(t *testing.T) {
+	cases := []struct {
+		v     float64
+		wantE int // binary exponent of the bucket's upper bound
+	}{
+		{1.0, 1},   // [1,2) → le 2
+		{1.999, 1}, // still [1,2)
+		{2.0, 2},   // boundary value starts the next bucket
+		{3.5, 2},   // [2,4) → le 4
+		{4.0, 3},   // next boundary
+		{0.5, 0},   // [0.5,1) → le 1
+		{0.25, -1}, // [0.25,0.5) → le 0.5
+		{1e-3, math.Ilogb(1e-3) + 1},
+		{1e6, math.Ilogb(1e6) + 1},
+	}
+	for _, tc := range cases {
+		h := &Histogram{}
+		h.Observe(tc.v)
+		idx := bucketIndex(tc.v)
+		ub := BucketUpperBound(idx)
+		want := math.Ldexp(1, tc.wantE)
+		if ub != want {
+			t.Errorf("Observe(%v): upper bound %v, want %v", tc.v, ub, want)
+		}
+		if tc.v >= ub {
+			t.Errorf("Observe(%v): value not below its bucket's upper bound %v", tc.v, ub)
+		}
+		if idx > 0 && tc.v < BucketUpperBound(idx-1) {
+			t.Errorf("Observe(%v): value below the previous bucket's bound %v", tc.v, BucketUpperBound(idx-1))
+		}
+	}
+	// Degenerate observations go to the first bucket; huge ones overflow.
+	if bucketIndex(0) != 0 || bucketIndex(-1) != 0 || bucketIndex(math.NaN()) != 0 {
+		t.Error("non-positive observations must use bucket 0")
+	}
+	if !math.IsInf(BucketUpperBound(bucketIndex(1e30)), 1) {
+		t.Error("huge observations must land in the +Inf overflow bucket")
+	}
+}
+
+func TestHistogramQuantile(t *testing.T) {
+	h := &Histogram{}
+	for i := 0; i < 90; i++ {
+		h.Observe(1.5) // le 2
+	}
+	for i := 0; i < 10; i++ {
+		h.Observe(100) // le 128
+	}
+	if q := h.Quantile(0.5); q != 2 {
+		t.Errorf("p50 = %v, want 2", q)
+	}
+	if q := h.Quantile(0.99); q != 128 {
+		t.Errorf("p99 = %v, want 128", q)
+	}
+}
+
+func TestPromExposition(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("optimizer_calls_total").Add(42)
+	r.Gauge("cache_entries").Set(7)
+	h := r.Histogram("cost_seconds")
+	h.Observe(0.75)
+	h.Observe(1.5)
+	h.Observe(1.6)
+	r.Counter(WithLabel("dp_cells", "rho", "1")).Add(9)
+
+	var buf bytes.Buffer
+	if err := r.WriteProm(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"# TYPE optimizer_calls_total counter",
+		"optimizer_calls_total 42",
+		"cache_entries 7",
+		"# TYPE dp_cells counter",
+		`dp_cells{rho="1"} 9`,
+		`cost_seconds_bucket{le="1"} 1`,
+		`cost_seconds_bucket{le="2"} 3`,
+		`cost_seconds_bucket{le="+Inf"} 3`,
+		"cost_seconds_count 3",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestPromExpositionLabeledHistogram pins the labeled-series syntax: the
+// _bucket/_sum/_count suffix precedes the label set, le merges into the
+// registered labels, and one TYPE comment covers the whole family.
+func TestPromExpositionLabeledHistogram(t *testing.T) {
+	r := NewRegistry()
+	r.Histogram(WithLabel("dp_seconds", "rho", "1")).Observe(0.75)
+	r.Histogram(WithLabel("dp_seconds", "rho", "10")).Observe(1.5)
+
+	var buf bytes.Buffer
+	if err := r.WriteProm(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		`dp_seconds_bucket{rho="1",le="1"} 1`,
+		`dp_seconds_bucket{rho="1",le="+Inf"} 1`,
+		`dp_seconds_sum{rho="1"} 0.75`,
+		`dp_seconds_count{rho="1"} 1`,
+		`dp_seconds_bucket{rho="10",le="2"} 1`,
+		`dp_seconds_count{rho="10"} 1`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+	if n := strings.Count(out, "# TYPE dp_seconds histogram"); n != 1 {
+		t.Errorf("TYPE comment emitted %d times, want once:\n%s", n, out)
+	}
+	if strings.Contains(out, `dp_seconds{rho="1"}_`) {
+		t.Errorf("suffix after label set is invalid Prometheus syntax:\n%s", out)
+	}
+}
+
+func TestSnapshotJSONRoundTrip(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("calls").Add(5)
+	r.Gauge("g").Set(2.5)
+	r.Histogram("h").Observe(3)
+
+	var buf bytes.Buffer
+	if err := r.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var snap Snapshot
+	if err := json.Unmarshal(buf.Bytes(), &snap); err != nil {
+		t.Fatalf("snapshot is not valid JSON: %v", err)
+	}
+	if snap.Counters["calls"] != 5 || snap.Gauges["g"] != 2.5 {
+		t.Fatalf("round-trip mismatch: %+v", snap)
+	}
+	hs := snap.Histograms["h"]
+	if hs.Count != 1 || hs.Sum != 3 || hs.Buckets["4"] != 1 {
+		t.Fatalf("histogram round-trip mismatch: %+v", hs)
+	}
+}
+
+// TestNilRegistry proves the disabled layer is inert end to end.
+func TestNilRegistry(t *testing.T) {
+	var r *Registry
+	c := r.Counter("x")
+	c.Add(3)
+	if c.Value() != 0 {
+		t.Error("nil counter must stay zero")
+	}
+	g := r.Gauge("y")
+	g.Set(1)
+	g.Add(1)
+	if g.Value() != 0 {
+		t.Error("nil gauge must stay zero")
+	}
+	h := r.Histogram("z")
+	h.Observe(1)
+	if h.Count() != 0 || h.Sum() != 0 || h.Quantile(0.5) != 0 {
+		t.Error("nil histogram must stay empty")
+	}
+	if err := r.WriteProm(&bytes.Buffer{}); err != nil {
+		t.Error(err)
+	}
+	if s := r.Snapshot(); len(s.Counters) != 0 {
+		t.Error("nil registry snapshot must be empty")
+	}
+}
+
+// TestDisabledMetricsZeroAlloc verifies that nil metric handles cost no
+// allocations on the hot path.
+func TestDisabledMetricsZeroAlloc(t *testing.T) {
+	var c *Counter
+	var h *Histogram
+	if n := testing.AllocsPerRun(1000, func() {
+		c.Inc()
+		h.Observe(1.5)
+	}); n != 0 {
+		t.Fatalf("disabled metrics allocated %v per op, want 0", n)
+	}
+}

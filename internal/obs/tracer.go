@@ -1,0 +1,124 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"io"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// KV is one event attribute. Values must be encodable by encoding/json.
+type KV struct {
+	Key   string
+	Value any
+}
+
+// Tracer emits structured events as JSON Lines to a writer. Every event
+// carries a monotonic sequence number, a microsecond timestamp relative
+// to the tracer's creation, an event name, and the caller's attributes:
+//
+//	{"seq":3,"ts_us":1042,"ev":"round","round":1,"prcs":0.83,...}
+//
+// Span-like start/end pairs share a span id and the end event carries the
+// elapsed duration in microseconds ("dur_us").
+//
+// The nil *Tracer is the disabled tracer: Enabled() reports false and
+// every method is a no-op, so instrumented hot paths pay one nil-check.
+// Callers building attribute lists should guard with Enabled() to keep
+// the disabled path allocation-free.
+type Tracer struct {
+	mu    sync.Mutex
+	w     *bufio.Writer
+	flush func() error
+	start time.Time
+	seq   atomic.Int64
+	spans atomic.Int64
+}
+
+// NewTracer returns a tracer writing JSONL events to w. Output is
+// buffered; call Close (or Flush) to drain it.
+func NewTracer(w io.Writer) *Tracer {
+	return &Tracer{w: bufio.NewWriter(w), start: time.Now()}
+}
+
+// Enabled reports whether events are recorded.
+func (t *Tracer) Enabled() bool { return t != nil }
+
+// Emit records an instantaneous event.
+func (t *Tracer) Emit(ev string, kvs ...KV) {
+	if t == nil {
+		return
+	}
+	t.write(ev, -1, 0, kvs)
+}
+
+// Span is an in-flight start/end event pair.
+type Span struct {
+	t     *Tracer
+	id    int64
+	ev    string
+	began time.Time
+}
+
+// Begin records a start event and returns the span; the zero Span (and
+// any span from a nil tracer) ends as a no-op.
+func (t *Tracer) Begin(ev string, kvs ...KV) Span {
+	if t == nil {
+		return Span{}
+	}
+	id := t.spans.Add(1)
+	t.write(ev+".begin", id, 0, kvs)
+	return Span{t: t, id: id, ev: ev, began: time.Now()}
+}
+
+// End records the span's end event with its duration.
+func (s Span) End(kvs ...KV) {
+	if s.t == nil {
+		return
+	}
+	s.t.write(s.ev+".end", s.id, time.Since(s.began), kvs)
+}
+
+// write serializes one event. spanID < 0 means no span field; dur 0 means
+// no duration field.
+func (t *Tracer) write(ev string, spanID int64, dur time.Duration, kvs []KV) {
+	rec := make(map[string]any, len(kvs)+5)
+	rec["seq"] = t.seq.Add(1)
+	rec["ts_us"] = time.Since(t.start).Microseconds()
+	rec["ev"] = ev
+	if spanID >= 0 {
+		rec["span"] = spanID
+	}
+	if dur > 0 {
+		rec["dur_us"] = dur.Microseconds()
+	}
+	for _, kv := range kvs {
+		rec[kv.Key] = kv.Value
+	}
+	data, err := json.Marshal(rec)
+	if err != nil {
+		// A non-encodable attribute must not kill a tuning run; emit the
+		// event name with the error instead.
+		data, _ = json.Marshal(map[string]any{"ev": ev, "error": err.Error()})
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.w.Write(data)
+	t.w.WriteByte('\n')
+}
+
+// Flush drains buffered events to the underlying writer.
+func (t *Tracer) Flush() error {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.w.Flush()
+}
+
+// Close flushes the tracer. The underlying writer is not closed; the
+// caller owns it.
+func (t *Tracer) Close() error { return t.Flush() }

@@ -1,0 +1,139 @@
+package obs
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestTracerJSONLRoundTrip emits events and spans and re-parses every
+// line through encoding/json.
+func TestTracerJSONLRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	tr := NewTracer(&buf)
+	tr.Emit("round", KV{"round", 1}, KV{"prcs", 0.83}, KV{"calls", int64(120)})
+	sp := tr.Begin("derive", KV{"rho", 1.0})
+	time.Sleep(time.Millisecond)
+	sp.End(KV{"cells", 512})
+	tr.Emit("done")
+	if err := tr.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	var recs []map[string]any
+	sc := bufio.NewScanner(&buf)
+	for sc.Scan() {
+		var rec map[string]any
+		if err := json.Unmarshal(sc.Bytes(), &rec); err != nil {
+			t.Fatalf("invalid JSONL line %q: %v", sc.Text(), err)
+		}
+		recs = append(recs, rec)
+	}
+	if len(recs) != 4 {
+		t.Fatalf("got %d events, want 4", len(recs))
+	}
+
+	round := recs[0]
+	if round["ev"] != "round" || round["round"] != float64(1) || round["prcs"] != 0.83 || round["calls"] != float64(120) {
+		t.Errorf("round event mismatch: %v", round)
+	}
+	begin, end := recs[1], recs[2]
+	if begin["ev"] != "derive.begin" || end["ev"] != "derive.end" {
+		t.Errorf("span events mismatch: %v / %v", begin, end)
+	}
+	if begin["span"] != end["span"] {
+		t.Errorf("span ids differ: %v vs %v", begin["span"], end["span"])
+	}
+	if dur, ok := end["dur_us"].(float64); !ok || dur < 500 {
+		t.Errorf("span duration %v, want ≥ 500µs", end["dur_us"])
+	}
+	if end["cells"] != float64(512) {
+		t.Errorf("end attrs not recorded: %v", end)
+	}
+
+	// Sequence numbers are strictly increasing and timestamps monotone.
+	prevSeq, prevTS := -1.0, -1.0
+	for _, rec := range recs {
+		seq, ts := rec["seq"].(float64), rec["ts_us"].(float64)
+		if seq <= prevSeq || ts < prevTS {
+			t.Fatalf("non-monotonic seq/ts: %v", recs)
+		}
+		prevSeq, prevTS = seq, ts
+	}
+}
+
+// TestTracerConcurrent checks that concurrent emitters produce one valid
+// JSON object per line (run under -race for the data-race check).
+func TestTracerConcurrent(t *testing.T) {
+	var buf bytes.Buffer
+	tr := NewTracer(&buf)
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			for j := 0; j < 200; j++ {
+				tr.Emit("tick", KV{"worker", id}, KV{"j", j})
+			}
+		}(i)
+	}
+	wg.Wait()
+	tr.Flush()
+
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 1600 {
+		t.Fatalf("got %d lines, want 1600", len(lines))
+	}
+	for _, line := range lines {
+		var rec map[string]any
+		if err := json.Unmarshal([]byte(line), &rec); err != nil {
+			t.Fatalf("corrupt line %q: %v", line, err)
+		}
+	}
+}
+
+// TestTracerUnencodableAttr must degrade, not crash or corrupt the
+// stream.
+func TestTracerUnencodableAttr(t *testing.T) {
+	var buf bytes.Buffer
+	tr := NewTracer(&buf)
+	tr.Emit("bad", KV{"fn", func() {}})
+	tr.Flush()
+	var rec map[string]any
+	if err := json.Unmarshal(bytes.TrimSpace(buf.Bytes()), &rec); err != nil {
+		t.Fatalf("fallback record is not valid JSON: %v", err)
+	}
+	if rec["ev"] != "bad" || rec["error"] == nil {
+		t.Fatalf("fallback record mismatch: %v", rec)
+	}
+}
+
+// TestDisabledTracerZeroAlloc is the hot-path contract: with tracing
+// disabled (nil tracer), the Enabled() guard pattern used by the samplers
+// must not allocate.
+func TestDisabledTracerZeroAlloc(t *testing.T) {
+	var tr *Tracer
+	round := 0
+	if n := testing.AllocsPerRun(1000, func() {
+		round++
+		if tr.Enabled() {
+			tr.Emit("round", KV{"round", round}, KV{"prcs", 0.9})
+		}
+	}); n != 0 {
+		t.Fatalf("disabled tracer allocated %v per op, want 0", n)
+	}
+	// The nil tracer is also safe to call directly, and spans no-op.
+	tr.Emit("x")
+	sp := tr.Begin("y")
+	sp.End()
+	if tr.Enabled() {
+		t.Fatal("nil tracer must report disabled")
+	}
+	if err := tr.Flush(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"physdes/internal/obs"
 	"physdes/internal/physical"
 	"physdes/internal/sqlparse"
 )
@@ -26,6 +27,15 @@ type Cached struct {
 
 	hits   atomic.Int64
 	misses atomic.Int64
+
+	metrics atomic.Pointer[cacheMetrics]
+}
+
+// cacheMetrics holds the registry handles resolved by SetMetrics.
+type cacheMetrics struct {
+	hits    *obs.Counter
+	misses  *obs.Counter
+	entries *obs.Gauge
 }
 
 type cacheKey struct {
@@ -38,6 +48,21 @@ func NewCached(inner *Optimizer) *Cached {
 	return &Cached{inner: inner, table: make(map[cacheKey]float64)}
 }
 
+// SetMetrics exports the cache's hit/miss accounting on the registry:
+// optimizer_cache_hits_total, optimizer_cache_misses_total and the
+// optimizer_cache_entries gauge. Passing nil detaches.
+func (c *Cached) SetMetrics(r *obs.Registry) {
+	if r == nil {
+		c.metrics.Store(nil)
+		return
+	}
+	c.metrics.Store(&cacheMetrics{
+		hits:    r.Counter("optimizer_cache_hits_total"),
+		misses:  r.Counter("optimizer_cache_misses_total"),
+		entries: r.Gauge("optimizer_cache_entries"),
+	})
+}
+
 // Cost returns the memoized cost, consulting the underlying optimizer on a
 // miss.
 func (c *Cached) Cost(a *sqlparse.Analysis, cfg *physical.Configuration) float64 {
@@ -45,16 +70,33 @@ func (c *Cached) Cost(a *sqlparse.Analysis, cfg *physical.Configuration) float64
 	c.mu.RLock()
 	v, ok := c.table[key]
 	c.mu.RUnlock()
+	m := c.metrics.Load()
 	if ok {
 		c.hits.Add(1)
+		if m != nil {
+			m.hits.Inc()
+		}
 		return v
 	}
 	c.misses.Add(1)
+	if m != nil {
+		m.misses.Inc()
+	}
 	v = c.inner.Cost(a, cfg)
 	c.mu.Lock()
 	c.table[key] = v
+	n := len(c.table)
 	c.mu.Unlock()
+	if m != nil {
+		m.entries.Set(float64(n))
+	}
 	return v
+}
+
+// Stats reports the cache's accounting in one call: hits, misses and the
+// current memo-table size.
+func (c *Cached) Stats() (hits, misses int64, entries int) {
+	return c.hits.Load(), c.misses.Load(), c.Entries()
 }
 
 // Hits returns the number of calls served from the memo table.
@@ -73,11 +115,15 @@ func (c *Cached) Entries() int {
 // Inner returns the wrapped optimizer (for call accounting).
 func (c *Cached) Inner() *Optimizer { return c.inner }
 
-// Reset clears the memo table and counters.
+// Reset clears the memo table and counters. Registry counters are
+// monotonic and keep their totals; the entries gauge drops to zero.
 func (c *Cached) Reset() {
 	c.mu.Lock()
 	c.table = make(map[cacheKey]float64)
 	c.mu.Unlock()
 	c.hits.Store(0)
 	c.misses.Store(0)
+	if m := c.metrics.Load(); m != nil {
+		m.entries.Set(0)
+	}
 }

@@ -4,6 +4,7 @@ import (
 	"sync"
 	"testing"
 
+	"physdes/internal/obs"
 	"physdes/internal/physical"
 )
 
@@ -43,6 +44,46 @@ func TestCachedOptimizer(t *testing.T) {
 	c.Reset()
 	if c.Hits() != 0 || c.Misses() != 0 || c.Entries() != 0 {
 		t.Error("Reset incomplete")
+	}
+}
+
+// TestCachedOptimizerMetrics checks the registry export: hit/miss
+// counters and the entries gauge track the cache's own accounting, and
+// the wrapped optimizer's call counter only moves on misses.
+func TestCachedOptimizerMetrics(t *testing.T) {
+	inner := New(testCat)
+	reg := obs.NewRegistry()
+	inner.SetMetrics(reg)
+	c := NewCached(inner)
+	c.SetMetrics(reg)
+	a := analyze(t, "SELECT l_quantity FROM lineitem WHERE l_orderkey = 7")
+	cfg := physical.NewConfiguration("ix", physical.NewIndex("lineitem", []string{"l_orderkey"}))
+
+	c.Cost(a, cfg) // miss
+	c.Cost(a, cfg) // hit
+	c.Cost(a, cfg) // hit
+
+	snap := reg.Snapshot()
+	if snap.Counters["optimizer_cache_hits_total"] != 2 {
+		t.Errorf("hits counter = %d, want 2", snap.Counters["optimizer_cache_hits_total"])
+	}
+	if snap.Counters["optimizer_cache_misses_total"] != 1 {
+		t.Errorf("misses counter = %d, want 1", snap.Counters["optimizer_cache_misses_total"])
+	}
+	if snap.Gauges["optimizer_cache_entries"] != 1 {
+		t.Errorf("entries gauge = %v, want 1", snap.Gauges["optimizer_cache_entries"])
+	}
+	// Hits never reach the wrapped optimizer: one call total.
+	if snap.Counters["optimizer_calls_total"] != 1 {
+		t.Errorf("optimizer_calls_total = %d, want 1", snap.Counters["optimizer_calls_total"])
+	}
+	hits, misses, entries := c.Stats()
+	if hits != 2 || misses != 1 || entries != 1 {
+		t.Errorf("Stats() = %d/%d/%d, want 2/1/1", hits, misses, entries)
+	}
+	c.Reset()
+	if reg.Snapshot().Gauges["optimizer_cache_entries"] != 0 {
+		t.Error("Reset must zero the entries gauge")
 	}
 }
 

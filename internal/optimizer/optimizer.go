@@ -2,11 +2,13 @@ package optimizer
 
 import (
 	"sync/atomic"
+	"time"
 
 	"physdes/internal/physical"
 	"physdes/internal/sqlparse"
 
 	"physdes/internal/catalog"
+	"physdes/internal/obs"
 )
 
 // Optimizer is the what-if interface: Cost(analysis, configuration) returns
@@ -15,8 +17,16 @@ import (
 // counter tracks the number of what-if invocations — the resource the
 // paper's comparison primitive economizes.
 type Optimizer struct {
-	cat   *catalog.Catalog
-	calls atomic.Int64
+	cat     *catalog.Catalog
+	calls   atomic.Int64
+	metrics atomic.Pointer[optMetrics]
+}
+
+// optMetrics holds the registry handles resolved by SetMetrics; the
+// pointer stays nil (one relaxed load per Cost call) until attached.
+type optMetrics struct {
+	calls   *obs.Counter
+	latency *obs.Histogram
 }
 
 // New returns an optimizer over the catalog.
@@ -27,6 +37,21 @@ func New(cat *catalog.Catalog) *Optimizer {
 // Catalog returns the catalog the optimizer costs against.
 func (o *Optimizer) Catalog() *catalog.Catalog { return o.cat }
 
+// SetMetrics exports the optimizer's counters on the registry:
+// optimizer_calls_total counts what-if invocations (it tracks Calls() but
+// is monotonic across ResetCalls) and optimizer_cost_seconds is a
+// latency histogram of individual cost calls. Passing nil detaches.
+func (o *Optimizer) SetMetrics(r *obs.Registry) {
+	if r == nil {
+		o.metrics.Store(nil)
+		return
+	}
+	o.metrics.Store(&optMetrics{
+		calls:   r.Counter("optimizer_calls_total"),
+		latency: r.Histogram("optimizer_cost_seconds"),
+	})
+}
+
 // Calls returns the number of Cost invocations since the last reset.
 func (o *Optimizer) Calls() int64 { return o.calls.Load() }
 
@@ -35,7 +60,12 @@ func (o *Optimizer) ResetCalls() { o.calls.Store(0) }
 
 // AddCalls charges n synthetic calls to the counter; harnesses that replay
 // precomputed costs use it to keep the accounting faithful.
-func (o *Optimizer) AddCalls(n int64) { o.calls.Add(n) }
+func (o *Optimizer) AddCalls(n int64) {
+	o.calls.Add(n)
+	if m := o.metrics.Load(); m != nil {
+		m.calls.Add(n)
+	}
+}
 
 // OptimizeOverhead estimates the relative wall-clock cost of one what-if
 // optimizer call for the statement — join ordering dominates optimization
@@ -58,6 +88,13 @@ func (o *Optimizer) OptimizeOverhead(a *sqlparse.Analysis) float64 {
 // Every invocation counts as one optimizer call.
 func (o *Optimizer) Cost(a *sqlparse.Analysis, cfg *physical.Configuration) float64 {
 	o.calls.Add(1)
+	if m := o.metrics.Load(); m != nil {
+		start := time.Now()
+		c := o.cost(a, cfg)
+		m.latency.Observe(time.Since(start).Seconds())
+		m.calls.Inc()
+		return c
+	}
 	return o.cost(a, cfg)
 }
 
@@ -106,6 +143,9 @@ func (o *Optimizer) costUpdate(a *sqlparse.Analysis, cfg *physical.Configuration
 // optimizer call. For SELECT statements the write part is 0.
 func (o *Optimizer) UpdateParts(a *sqlparse.Analysis, cfg *physical.Configuration) (locate, write float64) {
 	o.calls.Add(1)
+	if m := o.metrics.Load(); m != nil {
+		m.calls.Inc()
+	}
 	switch a.Kind {
 	case sqlparse.KindSelect:
 		return o.costSelect(a, cfg), 0

@@ -28,7 +28,7 @@ func TestCallCostShiftsAllocation(t *testing.T) {
 			TemplateIndex: tmplIdx, TemplateCount: 2,
 			CallCost: map[bool]func(int) float64{true: callCost, false: nil}[withCost],
 		}.withDefaults())
-		d.run(false)
+		d.run()
 		var counts [2]int
 		for _, row := range d.rows {
 			counts[row.tmpl]++

@@ -3,6 +3,7 @@ package sampling
 import (
 	"math"
 
+	"physdes/internal/obs"
 	"physdes/internal/stats"
 )
 
@@ -55,6 +56,7 @@ type deltaSampler struct {
 	sampled int
 	splits  int
 
+	met   samplerMetrics
 	trace []float64
 }
 
@@ -71,6 +73,7 @@ func newDeltaSampler(o Oracle, opts Options) *deltaSampler {
 		tSum:       make([][]float64, maxInt(opts.TemplateCount, 1)),
 		tSumsq:     make([][]float64, maxInt(opts.TemplateCount, 1)),
 		tCross:     make([][]float64, maxInt(opts.TemplateCount, 1)),
+		met:        newSamplerMetrics(opts.Metrics),
 	}
 	for i := range d.alive {
 		d.alive[i] = true
@@ -143,6 +146,7 @@ func (d *deltaSampler) sampleFrom(h int) bool {
 	s.next++
 	s.n++
 	d.sampled++
+	d.met.samples.Inc()
 
 	costs := make([]float64, d.k)
 	for j := 0; j < d.k; j++ {
@@ -362,6 +366,13 @@ func (d *deltaSampler) eliminate(pair []float64) {
 			d.alive[j] = false
 			d.aliveCount--
 			d.elimPen += 1 - pair[j]
+			d.met.eliminations.Inc()
+			if tr := d.opts.Tracer; tr.Enabled() {
+				tr.Emit("eliminate",
+					obs.KV{Key: "config", Value: j},
+					obs.KV{Key: "pair_prcs", Value: pair[j]},
+					obs.KV{Key: "alive", Value: d.aliveCount})
+			}
 		}
 	}
 }
@@ -556,6 +567,16 @@ func (d *deltaSampler) applySplit(dec splitDecision) {
 	d.strata[dec.stratum] = left
 	d.strata = append(d.strata, right)
 	d.splits++
+	d.met.splits.Inc()
+	if tr := d.opts.Tracer; tr.Enabled() {
+		tr.Emit("split",
+			obs.KV{Key: "stratum", Value: dec.stratum},
+			obs.KV{Key: "left_templates", Value: len(left.templates)},
+			obs.KV{Key: "right_templates", Value: len(right.templates)},
+			obs.KV{Key: "left_size", Value: left.size},
+			obs.KV{Key: "right_size", Value: right.size},
+			obs.KV{Key: "strata", Value: len(d.strata)})
+	}
 
 	// Algorithm 1, line 8: top the children up to n_min samples each.
 	for _, child := range []*dStratum{left, right} {
@@ -583,7 +604,8 @@ func (d *deltaSampler) indexOf(s *dStratum) int {
 }
 
 // run executes Algorithm 1 and returns the result.
-func (d *deltaSampler) run(trace bool) *Result {
+func (d *deltaSampler) run() *Result {
+	tr := d.opts.Tracer
 	// Pilot phase: n_min per stratum (clamped to stratum size and budget).
 	// Strata are filled round-robin in a shuffled order so a
 	// budget-truncated pilot (fixed-budget mode with many strata) covers a
@@ -607,11 +629,32 @@ func (d *deltaSampler) run(trace bool) *Result {
 		}
 	}
 	d.chooseBest()
+	if tr.Enabled() {
+		tr.Emit("pilot.done",
+			obs.KV{Key: "samples", Value: d.sampled},
+			obs.KV{Key: "calls", Value: d.o.Calls()},
+			obs.KV{Key: "strata", Value: len(d.strata)})
+	}
 
+	round := 0
 	stable := 0
 	p, pair := d.prCS()
 	for {
-		if trace {
+		round++
+		d.met.rounds.Inc()
+		if tr.Enabled() {
+			tr.Emit("round",
+				obs.KV{Key: "round", Value: round},
+				obs.KV{Key: "samples", Value: d.sampled},
+				obs.KV{Key: "calls", Value: d.o.Calls()},
+				obs.KV{Key: "prcs", Value: p},
+				obs.KV{Key: "best", Value: d.best},
+				obs.KV{Key: "alive", Value: d.aliveCount},
+				obs.KV{Key: "strata", Value: len(d.strata)},
+				obs.KV{Key: "splits", Value: d.splits},
+				obs.KV{Key: "stable", Value: stable})
+		}
+		if d.opts.TracePrCS {
 			d.trace = append(d.trace, p)
 		}
 		if d.opts.MaxCalls <= 0 {
@@ -629,6 +672,13 @@ func (d *deltaSampler) run(trace bool) *Result {
 		h := d.nextStratum()
 		if h < 0 || !d.sampleFrom(h) {
 			break // exhausted workload or budget
+		}
+		if tr.Enabled() {
+			s := d.strata[h]
+			tr.Emit("alloc",
+				obs.KV{Key: "stratum", Value: h},
+				obs.KV{Key: "stratum_n", Value: s.n},
+				obs.KV{Key: "stratum_size", Value: s.size})
 		}
 		d.chooseBest()
 		p, pair = d.prCS()

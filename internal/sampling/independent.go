@@ -3,6 +3,7 @@ package sampling
 import (
 	"math"
 
+	"physdes/internal/obs"
 	"physdes/internal/stats"
 )
 
@@ -53,6 +54,7 @@ type independentSampler struct {
 	best        int
 	sampled     int
 	lastSampled int // configuration index of the last sample
+	met         samplerMetrics
 	trace       []float64
 }
 
@@ -70,6 +72,7 @@ func newIndependentSampler(o Oracle, opts Options) *independentSampler {
 		tCount:     make([][]int, tc),
 		tSum:       make([][]float64, tc),
 		tSumsq:     make([][]float64, tc),
+		met:        newSamplerMetrics(opts.Metrics),
 	}
 	for j := range s.alive {
 		s.alive[j] = true
@@ -125,6 +128,7 @@ func (s *independentSampler) sampleFrom(j, h int) bool {
 	st.next++
 	st.n++
 	s.sampled++
+	s.met.samples.Inc()
 	s.lastSampled = j
 
 	c := s.o.Cost(q, j)
@@ -262,6 +266,13 @@ func (s *independentSampler) eliminate(pair []float64) {
 			s.alive[j] = false
 			s.aliveCount--
 			s.elimPen += 1 - pair[j]
+			s.met.eliminations.Inc()
+			if tr := s.opts.Tracer; tr.Enabled() {
+				tr.Emit("eliminate",
+					obs.KV{Key: "config", Value: j},
+					obs.KV{Key: "pair_prcs", Value: pair[j]},
+					obs.KV{Key: "alive", Value: s.aliveCount})
+			}
 		}
 	}
 }
@@ -407,6 +418,16 @@ func (s *independentSampler) applySplit(ci int, dec splitDecision) {
 	left := s.addStratum(ci, dec.left)
 	right := s.addStratum(ci, rightTmpls)
 	s.cfg[ci].splits++
+	s.met.splits.Inc()
+	if tr := s.opts.Tracer; tr.Enabled() {
+		tr.Emit("split",
+			obs.KV{Key: "config", Value: ci},
+			obs.KV{Key: "left_templates", Value: len(left.templates)},
+			obs.KV{Key: "right_templates", Value: len(right.templates)},
+			obs.KV{Key: "left_size", Value: left.size},
+			obs.KV{Key: "right_size", Value: right.size},
+			obs.KV{Key: "strata", Value: len(s.cfg[ci].strata)})
+	}
 
 	for _, child := range []*icStratum{left, right} {
 		want := s.opts.NMin
@@ -432,7 +453,8 @@ func (s *independentSampler) stratumIndex(ci int, st *icStratum) int {
 	return -1
 }
 
-func (s *independentSampler) run(trace bool) *Result {
+func (s *independentSampler) run() *Result {
+	tr := s.opts.Tracer
 	// Pilot: round-robin over shuffled (configuration, stratum) slots so a
 	// truncated pilot spreads evenly (see the Delta sampler's pilot note).
 	order := s.opts.RNG.Perm(s.k)
@@ -455,11 +477,29 @@ func (s *independentSampler) run(trace bool) *Result {
 		}
 	}
 	s.chooseBest()
+	if tr.Enabled() {
+		tr.Emit("pilot.done",
+			obs.KV{Key: "samples", Value: s.sampled},
+			obs.KV{Key: "calls", Value: s.o.Calls()})
+	}
 
+	round := 0
 	stable := 0
 	p, pair := s.prCS()
 	for {
-		if trace {
+		round++
+		s.met.rounds.Inc()
+		if tr.Enabled() {
+			tr.Emit("round",
+				obs.KV{Key: "round", Value: round},
+				obs.KV{Key: "samples", Value: s.sampled},
+				obs.KV{Key: "calls", Value: s.o.Calls()},
+				obs.KV{Key: "prcs", Value: p},
+				obs.KV{Key: "best", Value: s.best},
+				obs.KV{Key: "alive", Value: s.aliveCount},
+				obs.KV{Key: "stable", Value: stable})
+		}
+		if s.opts.TracePrCS {
 			s.trace = append(s.trace, p)
 		}
 		if s.opts.MaxCalls <= 0 {
@@ -477,6 +517,11 @@ func (s *independentSampler) run(trace bool) *Result {
 		j, h := s.nextSample()
 		if j < 0 || !s.sampleFrom(j, h) {
 			break
+		}
+		if tr.Enabled() {
+			tr.Emit("alloc",
+				obs.KV{Key: "config", Value: j},
+				obs.KV{Key: "stratum", Value: h})
 		}
 		s.chooseBest()
 		p, pair = s.prCS()

@@ -1,0 +1,22 @@
+package sampling
+
+import "physdes/internal/obs"
+
+// samplerMetrics holds the metric handles shared by both samplers,
+// resolved once at construction. Without a registry every handle is nil
+// and each update is a no-op nil-check.
+type samplerMetrics struct {
+	samples      *obs.Counter
+	rounds       *obs.Counter
+	splits       *obs.Counter
+	eliminations *obs.Counter
+}
+
+func newSamplerMetrics(r *obs.Registry) samplerMetrics {
+	return samplerMetrics{
+		samples:      r.Counter("sampling_samples_total"),
+		rounds:       r.Counter("sampling_rounds_total"),
+		splits:       r.Counter("sampling_splits_total"),
+		eliminations: r.Counter("sampling_eliminations_total"),
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 
+	"physdes/internal/obs"
 	"physdes/internal/stats"
 )
 
@@ -115,6 +116,20 @@ type Options struct {
 	// overhead instead of per call. Termination budgets (MaxCalls) still
 	// count calls.
 	CallCost func(q int) float64
+
+	// TracePrCS records Pr(CS) after every sample into Result.PrCSTrace
+	// (what RunTraced toggles).
+	TracePrCS bool
+
+	// Tracer, when non-nil, receives structured events for every sampling
+	// round, stratification split, elimination and allocation decision.
+	// The nil default is a no-op costing one nil-check per round.
+	Tracer *obs.Tracer
+
+	// Metrics, when non-nil, registers the sampler's counters
+	// (sampling_samples_total, sampling_rounds_total, sampling_splits_total,
+	// sampling_eliminations_total) on the registry.
+	Metrics *obs.Registry
 }
 
 func (o Options) withDefaults() Options {

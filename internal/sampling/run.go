@@ -3,26 +3,25 @@ package sampling
 // Run executes the configuration-selection procedure (Algorithm 1) with the
 // selected scheme and stratification mode, terminating when Pr(CS) exceeds
 // Options.Alpha for the stability window (adaptive mode) or when the call
-// budget is exhausted (fixed-budget mode).
+// budget is exhausted (fixed-budget mode). Observability — the per-sample
+// Pr(CS) trace, the structured event tracer and the metrics registry — is
+// configured through Options (TracePrCS, Tracer, Metrics).
 func Run(o Oracle, opts Options) (*Result, error) {
-	return run(o, opts, false)
-}
-
-// RunTraced is Run with a per-sample Pr(CS) trace in the result; the traces
-// feed the exploratory examples and diagnostics.
-func RunTraced(o Oracle, opts Options) (*Result, error) {
-	return run(o, opts, true)
-}
-
-func run(o Oracle, opts Options, trace bool) (*Result, error) {
 	opts = opts.withDefaults()
 	if err := opts.validate(o); err != nil {
 		return nil, err
 	}
 	switch opts.Scheme {
 	case Delta:
-		return newDeltaSampler(o, opts).run(trace), nil
+		return newDeltaSampler(o, opts).run(), nil
 	default:
-		return newIndependentSampler(o, opts).run(trace), nil
+		return newIndependentSampler(o, opts).run(), nil
 	}
+}
+
+// RunTraced is Run with Options.TracePrCS forced on; the traces feed the
+// exploratory examples and diagnostics.
+func RunTraced(o Oracle, opts Options) (*Result, error) {
+	opts.TracePrCS = true
+	return Run(o, opts)
 }

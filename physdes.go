@@ -33,9 +33,12 @@
 package physdes
 
 import (
+	"io"
+
 	"physdes/internal/catalog"
 	"physdes/internal/compress"
 	"physdes/internal/core"
+	"physdes/internal/obs"
 	"physdes/internal/optimizer"
 	"physdes/internal/physical"
 	"physdes/internal/sampling"
@@ -94,6 +97,14 @@ type (
 	SampledTunerResult = tuner.SampledResult
 	// CachedOptimizer memoizes what-if calls.
 	CachedOptimizer = optimizer.Cached
+	// Tracer emits structured JSONL selection events (Options.Tracer).
+	Tracer = obs.Tracer
+	// MetricsRegistry collects counters, gauges and histograms
+	// (Options.Metrics); it exposes a Prometheus text exposition
+	// (WriteProm) and a JSON snapshot (Snapshot / WriteJSON).
+	MetricsRegistry = obs.Registry
+	// MetricsSnapshot is a point-in-time copy of a registry.
+	MetricsSnapshot = obs.Snapshot
 )
 
 // Sampling schemes and stratification modes.
@@ -127,6 +138,24 @@ func NewOptimizer(cat *Catalog) *Optimizer { return optimizer.New(cat) }
 // configuration) memo table, as tuning tools layer over the what-if API;
 // hits are not charged to the wrapped optimizer's call counter.
 func NewCachedOptimizer(opt *Optimizer) *CachedOptimizer { return optimizer.NewCached(opt) }
+
+// NewTracer returns a tracer writing structured JSONL events to w; set it
+// on Options.Tracer to record every sampling round, split, elimination
+// and allocation decision of a selection. Call Flush (or Close) after the
+// run to drain buffered events.
+func NewTracer(w io.Writer) *Tracer { return obs.NewTracer(w) }
+
+// NewMetricsRegistry returns an empty metrics registry; set it on
+// Options.Metrics to collect the selection's counters (optimizer calls
+// and latency, sampler rounds/samples/splits/eliminations, cache hits,
+// σ²_max DP timings in conservative mode).
+func NewMetricsRegistry() *MetricsRegistry { return obs.NewRegistry() }
+
+// StartCPUProfile begins a CPU profile written to path and returns the
+// stop function finalizing it.
+func StartCPUProfile(path string) (stop func() error, err error) {
+	return obs.StartCPUProfile(path)
+}
 
 // GenTPCD generates an n-statement QGEN-style TPC-D workload.
 func GenTPCD(cat *Catalog, n int, seed uint64) (*Workload, error) {
