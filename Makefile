@@ -2,13 +2,14 @@
 
 GO ?= go
 
-.PHONY: all check build test test-race vet fmt bench experiments experiments-paper cover clean
+.PHONY: all check build test test-race vet fmt bench bench-parallel experiments experiments-paper cover clean
 
 all: build vet test
 
-# Full pre-commit gate: build, vet, tests, and the race detector over the
-# internal packages (where all the concurrency lives).
-check: build vet test test-race
+# Full pre-commit gate: build, vet, and the race detector over every
+# package — the batch pool, sharded cache and instrumentation are all
+# concurrent, so plain `go test` alone is not a sufficient gate.
+check: build vet test-race
 
 build:
 	$(GO) build ./...
@@ -23,10 +24,14 @@ test:
 	$(GO) test ./...
 
 test-race:
-	$(GO) test -race ./internal/...
+	$(GO) test -race ./...
 
 bench:
 	$(GO) test -bench=. -benchmem ./...
+
+# Speedup curve of the batched what-if layer (BENCH_parallel.json).
+bench-parallel:
+	$(GO) run ./cmd/benchrunner -exp parallel -json BENCH_parallel.json
 
 # Regenerate every table and figure at quick scale (minutes).
 experiments:

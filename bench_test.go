@@ -18,6 +18,7 @@ package physdes
 // Full paper-format rows come from `go run ./cmd/benchrunner`.
 
 import (
+	"fmt"
 	"sync"
 	"testing"
 
@@ -209,6 +210,54 @@ func BenchmarkCLTSkewBound(b *testing.B) {
 		if _, err := bounds.SkewMax(ivs, 1); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// BenchmarkSelectParallel measures the batched what-if layer's call
+// throughput at fixed worker counts: the same fine-stratified TPC-D
+// selection in fixed-budget mode (every run spends the same optimizer
+// calls), so calls/s differences are pure pool speedup. Mirrors the
+// benchrunner's `-exp parallel` experiment.
+func BenchmarkSelectParallel(b *testing.B) {
+	benchSetup(b)
+	configs := GenerateConfigurations(benchTPCD.Cat, benchTPCD.Candidates, 16, 18,
+		SpaceOptions{MinStructures: 3, MaxStructures: 8})
+	if len(configs) < 2 {
+		b.Fatalf("only %d configurations", len(configs))
+	}
+	// Warm the cost model's histogram caches once so the first worker
+	// count measured doesn't pay them for everyone.
+	if _, err := Select(benchTPCD.Opt, benchTPCD.W, configs, Options{
+		Scheme: DeltaSampling, Strat: FineStratification,
+		NMin: 60, MaxCalls: 20_000, Seed: 31, Parallelism: 1,
+	}); err != nil {
+		b.Fatal(err)
+	}
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			var calls int64
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				sel, err := Select(benchTPCD.Opt, benchTPCD.W, configs, Options{
+					Scheme:      DeltaSampling,
+					Strat:       FineStratification,
+					NMin:        60,
+					MaxCalls:    20_000,
+					Seed:        31,
+					Parallelism: workers,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				calls += sel.OptimizerCalls
+			}
+			b.StopTimer()
+			if calls > 0 {
+				secs := b.Elapsed().Seconds()
+				b.ReportMetric(float64(calls)/secs, "calls/s")
+				b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(calls), "ns/call")
+			}
+		})
 	}
 }
 

@@ -3,9 +3,10 @@
 //
 // Usage:
 //
-//	benchrunner [-exp all|table1|fig1|fig2|fig3|fig4|table2|table3|sec73|clt|elim|stability|rho]
+//	benchrunner [-exp all|table1|fig1|fig2|fig3|fig4|table2|table3|sec73|clt|elim|stability|rho|parallel]
 //	            [-quick|-paper] [-seed N] [-repeats N]
 //	            [-profile cpu.pprof] [-heap-profile heap.pprof] [-metrics]
+//	            [-parallelism N] [-json BENCH_parallel.json]
 //
 // Quick mode (default) uses reduced workload sizes and Monte-Carlo repeat
 // counts so the full suite finishes in minutes; -paper switches to the
@@ -21,6 +22,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"time"
 
 	"physdes/internal/bounds"
@@ -30,14 +32,16 @@ import (
 
 func main() {
 	var (
-		exp     = flag.String("exp", "all", "experiment id (all, table1, fig1, fig2, fig3, fig4, table2, table3, sec73, clt, elim, stability, rho)")
-		paper   = flag.Bool("paper", false, "paper-scale sizes (13K/6K queries, 5000 repeats)")
-		seed    = flag.Uint64("seed", 1, "random seed")
-		repeats = flag.Int("repeats", 0, "override Monte-Carlo repeats")
-		csvDir  = flag.String("csv", "", "also write each experiment's data as CSV into this directory")
-		profile = flag.String("profile", "", "write a CPU profile of the run to this file")
-		heap    = flag.String("heap-profile", "", "write a heap profile at exit to this file")
-		metrics = flag.Bool("metrics", false, "print the metrics registry (Prometheus text format) on stderr at exit")
+		exp         = flag.String("exp", "all", "experiment id (all, table1, fig1, fig2, fig3, fig4, table2, table3, sec73, clt, elim, stability, rho, parallel)")
+		paper       = flag.Bool("paper", false, "paper-scale sizes (13K/6K queries, 5000 repeats)")
+		seed        = flag.Uint64("seed", 1, "random seed")
+		repeats     = flag.Int("repeats", 0, "override Monte-Carlo repeats")
+		csvDir      = flag.String("csv", "", "also write each experiment's data as CSV into this directory")
+		profile     = flag.String("profile", "", "write a CPU profile of the run to this file")
+		heap        = flag.String("heap-profile", "", "write a heap profile at exit to this file")
+		metrics     = flag.Bool("metrics", false, "print the metrics registry (Prometheus text format) on stderr at exit")
+		parallelism = flag.Int("parallelism", 0, "max worker count for the parallel experiment's sweep (0: all cores)")
+		jsonOut     = flag.String("json", "", "write the parallel experiment's speedup curve as JSON to this file")
 	)
 	flag.Parse()
 
@@ -65,7 +69,7 @@ func main() {
 		stopProfile = stop
 	}
 
-	err := run(*exp, p, *csvDir, reg)
+	err := run(*exp, p, *csvDir, reg, *parallelism, *jsonOut)
 
 	if stopProfile != nil {
 		if perr := stopProfile(); perr != nil {
@@ -95,7 +99,7 @@ func main() {
 	}
 }
 
-func run(exp string, p experiments.Params, csvDir string, reg *obs.Registry) error {
+func run(exp string, p experiments.Params, csvDir string, reg *obs.Registry, parallelism int, jsonOut string) error {
 	writeCSV := func(name string, fn func() error) {
 		if csvDir == "" {
 			return
@@ -111,7 +115,7 @@ func run(exp string, p experiments.Params, csvDir string, reg *obs.Registry) err
 	var tpcd, crm *experiments.Scenario
 	needTPCD := all || exp == "fig1" || exp == "fig2" || exp == "fig3" ||
 		exp == "table2" || exp == "sec73" || exp == "elim" || exp == "stability" ||
-		exp == "batching" || exp == "scaling"
+		exp == "batching" || exp == "scaling" || exp == "parallel"
 	needCRM := all || exp == "fig4" || exp == "table3"
 
 	var err error
@@ -262,6 +266,28 @@ func run(exp string, p experiments.Params, csvDir string, reg *obs.Registry) err
 		}
 		fmt.Fprintln(out)
 	}
+	if all || exp == "parallel" {
+		if parallelism <= 0 {
+			parallelism = runtime.GOMAXPROCS(0)
+		}
+		rows, err := experiments.ParallelSpeedup(tpcd, experiments.WorkerSweep(parallelism), 3, p)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(out, "Batched what-if evaluation: call throughput by worker count")
+		fmt.Fprintln(out, "(fine-stratified Delta selection, fixed 20K-call budget, bit-identical results)")
+		for _, r := range rows {
+			fmt.Fprintf(out, "  workers=%-3d calls=%-6d elapsed=%6.1fms  %9.0f calls/s  %6.0f ns/call  speedup=%.2fx\n",
+				r.Workers, r.Calls, r.ElapsedMS, r.CallsPerSec, r.NsPerCall, r.Speedup)
+		}
+		if jsonOut != "" {
+			if err := experiments.WriteParallelJSON(jsonOut, rows); err != nil {
+				return err
+			}
+			fmt.Fprintf(out, "  wrote speedup curve to %s\n", jsonOut)
+		}
+		fmt.Fprintln(out)
+	}
 	if all || exp == "rho" {
 		rows, err := experiments.RhoSweep(p)
 		if err != nil {
@@ -276,7 +302,7 @@ func run(exp string, p experiments.Params, csvDir string, reg *obs.Registry) err
 	}
 	if !all {
 		switch exp {
-		case "table1", "fig1", "fig2", "fig3", "fig4", "table2", "table3", "sec73", "clt", "elim", "stability", "rho", "batching", "scaling":
+		case "table1", "fig1", "fig2", "fig3", "fig4", "table2", "table3", "sec73", "clt", "elim", "stability", "rho", "batching", "scaling", "parallel":
 		default:
 			return fmt.Errorf("unknown experiment %q", exp)
 		}

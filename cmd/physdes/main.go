@@ -66,8 +66,8 @@ func usage() {
   physdes gen     -db tpcd|crm -n N -seed S -out FILE
   physdes select  -db tpcd|crm -n N -k K [-alpha A] [-delta D]
                   [-scheme delta|independent] [-strat none|progressive|fine]
-                  [-conservative] [-trace FILE] [-metrics] [-seed S]
-  physdes explore -db tpcd|crm -n N -k K [-trace FILE] [-metrics] [-seed S]
+                  [-conservative] [-trace FILE] [-metrics] [-parallelism P] [-seed S]
+  physdes explore -db tpcd|crm -n N -k K [-trace FILE] [-metrics] [-parallelism P] [-seed S]
   physdes explain -db tpcd|crm -q "SELECT ..." [-config rec.json]
   physdes tune    -db tpcd|crm -n N [-mode sampled|exhaustive] [-max M]
                   [-out rec.json] [-seed S]
@@ -167,6 +167,7 @@ func cmdCompare(args []string) error {
 	n := fs.Int("n", 2_600, "generated workload size when -workload is absent")
 	alpha := fs.Float64("alpha", 0.9, "target probability of correct selection")
 	deltaFrac := fs.Float64("delta-frac", 0.01, "sensitivity δ as a fraction of A's estimated cost")
+	parallelism := fs.Int("parallelism", 0, "what-if worker pool size (0: all cores, 1: serial)")
 	seed := fs.Uint64("seed", 1, "random seed")
 	fs.Parse(args)
 	if *aFile == "" || *bFile == "" {
@@ -218,6 +219,7 @@ func cmdCompare(args []string) error {
 	o := physdes.DefaultOptions(*seed + 9)
 	o.Alpha = *alpha
 	o.Delta = delta
+	o.Parallelism = *parallelism
 	sel, err := physdes.Select(opt, w, []*physdes.Configuration{cfgA, cfgB}, o)
 	if err != nil {
 		return err
@@ -255,6 +257,7 @@ func cmdTune(args []string) error {
 	merged := fs.Bool("merged", false, "also enumerate merged index candidates")
 	maxStructures := fs.Int("max", 6, "maximum structures to recommend")
 	outFile := fs.String("out", "", "write the recommendation as JSON")
+	parallelism := fs.Int("parallelism", 0, "what-if worker pool size (0: all cores, 1: serial)")
 	seed := fs.Uint64("seed", 1, "random seed")
 	fs.Parse(args)
 
@@ -279,7 +282,7 @@ func cmdTune(args []string) error {
 	switch *mode {
 	case "sampled":
 		res, err := physdes.TuneGreedySampled(opt, w, cands, physdes.SampledTunerOptions{
-			MaxStructures: *maxStructures, Seed: *seed + 3,
+			MaxStructures: *maxStructures, Seed: *seed + 3, Parallelism: *parallelism,
 		})
 		if err != nil {
 			return err
@@ -295,7 +298,7 @@ func cmdTune(args []string) error {
 		}
 	case "exhaustive":
 		res := physdes.TuneGreedy(opt, cat, w, nil, cands,
-			physdes.TunerOptions{MaxStructures: *maxStructures})
+			physdes.TunerOptions{MaxStructures: *maxStructures, Parallelism: *parallelism})
 		cfg, calls = res.Config, res.OptimizerCalls
 	default:
 		return fmt.Errorf("unknown tuner mode %q", *mode)
@@ -381,6 +384,7 @@ func cmdSelect(args []string, explore bool) error {
 	outFile := fs.String("out", "", "write the selected configuration as JSON")
 	traceFile := fs.String("trace", "", "write structured JSONL selection events to this file")
 	metrics := fs.Bool("metrics", false, "print the metrics snapshot (Prometheus text format) after the run")
+	parallelism := fs.Int("parallelism", 0, "what-if worker pool size (0: all cores, 1: serial; the selection is bit-identical at every setting)")
 	seed := fs.Uint64("seed", 1, "random seed")
 	fs.Parse(args)
 
@@ -411,6 +415,7 @@ func cmdSelect(args []string, explore bool) error {
 	o.Alpha = *alpha
 	o.Delta = *delta
 	o.Conservative = *conservative
+	o.Parallelism = *parallelism
 	switch *scheme {
 	case "delta":
 		o.Scheme = physdes.DeltaSampling

@@ -3,6 +3,7 @@ package bounds
 import (
 	"physdes/internal/catalog"
 	"physdes/internal/optimizer"
+	"physdes/internal/par"
 	"physdes/internal/physical"
 	"physdes/internal/sqlparse"
 	"physdes/internal/workload"
@@ -24,8 +25,10 @@ import (
 // union of all candidate structures (most maintenance). This needs only
 // two optimizer calls per template and configuration, as the paper notes.
 type Deriver struct {
-	opt  *optimizer.Optimizer
-	cat  *catalog.Catalog
+	opt *optimizer.Optimizer
+	cat *catalog.Catalog
+	par int
+
 	base *physical.Configuration
 	all  *physical.Configuration
 }
@@ -44,6 +47,17 @@ func NewDeriver(opt *optimizer.Optimizer, configs ...*physical.Configuration) *D
 
 // Base returns the base configuration in use.
 func (d *Deriver) Base() *physical.Configuration { return d.base }
+
+// WithParallelism sets the bounded worker count WorkloadIntervals fans its
+// per-query and per-template derivations out over (values <= 1 derive
+// serially) and returns the deriver for chaining. Each query's interval is
+// a pure function of the immutable catalog and configurations, so the
+// derived intervals — and the optimizer-call total — are identical at
+// every setting.
+func (d *Deriver) WithParallelism(p int) *Deriver {
+	d.par = p
+	return d
+}
 
 // QueryInterval bounds one SELECT's cost across the configuration space.
 func (d *Deriver) QueryInterval(a *sqlparse.Analysis) Interval {
@@ -122,23 +136,39 @@ func (d *Deriver) WorkloadIntervals(w *workload.Workload) []Interval {
 	// so widen accordingly (the paper: "even very conservative cost bounds
 	// tend to work well").
 	bandLo, bandHi := optimizer.CostBand()
-	dmlBounds := make(map[sqlparse.TemplateID]Interval, len(ext))
-	for tid, e := range ext {
+	tids := make([]sqlparse.TemplateID, 0, len(ext))
+	for tid := range ext {
+		tids = append(tids, tid)
+	}
+	dmlIvs := make([]Interval, len(tids))
+	par.For(len(tids), d.par, func(i int) {
+		e := ext[tids[i]]
 		lo := d.updateInterval(w.Queries[e.minQ].Analysis).Lo * bandLo / bandHi
 		hi := d.updateInterval(w.Queries[e.maxQ].Analysis).Hi * bandHi / bandLo
 		if lo > hi {
 			lo = hi
 		}
-		dmlBounds[tid] = Interval{Lo: lo, Hi: hi}
+		dmlIvs[i] = Interval{Lo: lo, Hi: hi}
+	})
+	dmlBounds := make(map[sqlparse.TemplateID]Interval, len(tids))
+	for i, tid := range tids {
+		dmlBounds[tid] = dmlIvs[i]
 	}
 
+	// SELECT statements derive independently (base + all-useful
+	// configuration costs per query): fan out, fold into positional slots.
+	selIdx := make([]int, 0, w.Size())
 	for i, q := range w.Queries {
 		if q.Analysis.Kind.IsUpdate() {
 			out[i] = dmlBounds[q.Template]
 		} else {
-			out[i] = d.QueryInterval(q.Analysis)
+			selIdx = append(selIdx, i)
 		}
 	}
+	par.For(len(selIdx), d.par, func(ii int) {
+		i := selIdx[ii]
+		out[i] = d.QueryInterval(w.Queries[i].Analysis)
+	})
 	return out
 }
 

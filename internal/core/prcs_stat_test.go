@@ -1,0 +1,66 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"physdes/internal/workload"
+)
+
+// TestPrCSStatisticalGuarantee is the statistical regression harness for
+// the paper's core guarantee: Select must return the true lowest-cost
+// configuration with probability >= α. It runs a seeded Monte-Carlo of
+// independent selections against the exhaustively computed ground truth
+// and requires the observed correct-selection rate to stay within three
+// binomial standard errors of α — loose enough to never flake on a correct
+// implementation (a >=α process dips below the bound with probability
+// ~1e-3), tight enough that a math regression pushing the real rate a few
+// points under α fails deterministically (the trials are seeded).
+func TestPrCSStatisticalGuarantee(t *testing.T) {
+	if testing.Short() {
+		t.Skip("Monte-Carlo harness skipped in -short mode")
+	}
+	const (
+		trials = 200
+		alpha  = 0.9
+	)
+	opt, w, space := scenario(t, 500, 4, 21)
+	truth := exactBest(opt, w, space)
+	// Near-ties make "correct selection" ill-defined at δ=0 in a finite
+	// trial count; the guarantee is about detecting real differences, so
+	// the scenario must have a clear winner. Guard the fixture.
+	m := workload.ComputeCostMatrix(opt, w, space)
+	bestCost := m.TotalCost(truth)
+	for j := range space {
+		if j == truth {
+			continue
+		}
+		if gap := (m.TotalCost(j) - bestCost) / bestCost; gap < 0.01 {
+			t.Fatalf("fixture has a near-tie: config %d within %.2f%% of best", j, 100*gap)
+		}
+	}
+
+	correct := 0
+	for i := 0; i < trials; i++ {
+		o := DefaultOptions(uint64(1000 + i))
+		o.Alpha = alpha
+		sel, err := Select(opt, w, space, o)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if sel.BestIndex == truth {
+			correct++
+		}
+		if sel.PrCS < alpha {
+			t.Errorf("trial %d terminated with Pr(CS)=%v < α=%v", i, sel.PrCS, alpha)
+		}
+	}
+	rate := float64(correct) / trials
+	stderr := math.Sqrt(alpha * (1 - alpha) / trials)
+	floor := alpha - 3*stderr
+	t.Logf("correct-selection rate %.3f over %d trials (floor %.4f)", rate, trials, floor)
+	if rate < floor {
+		t.Errorf("correct-selection rate %.3f < %.4f = α − 3·stderr: the Pr(CS) guarantee regressed",
+			rate, floor)
+	}
+}

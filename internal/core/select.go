@@ -13,6 +13,7 @@ package core
 import (
 	"errors"
 	"fmt"
+	"runtime"
 
 	"physdes/internal/bounds"
 	"physdes/internal/obs"
@@ -46,6 +47,14 @@ type Options struct {
 	MaxCalls int64
 	// Seed drives all randomness.
 	Seed uint64
+	// Parallelism bounds the what-if worker pool used by the batched
+	// evaluation paths: the pilot rounds, each Delta row, and conservative
+	// bound derivation (default runtime.GOMAXPROCS(0); 1 forces serial
+	// evaluation; negative values are treated as 1). The Selection is
+	// bit-identical across parallelism levels for a fixed Seed — workers
+	// only compute pure cost values into positional slots and every
+	// statistical reduction runs serially in a fixed schedule order.
+	Parallelism int
 	// Conservative enables Section 6: per-query cost bounds are derived
 	// (extra optimizer calls), the variance estimates are replaced by the
 	// σ²_max upper bound when larger, and termination additionally waits
@@ -94,6 +103,12 @@ func (o Options) withDefaults() Options {
 	}
 	if o.Rho == 0 {
 		o.Rho = 1
+	}
+	if o.Parallelism == 0 {
+		o.Parallelism = runtime.GOMAXPROCS(0)
+	}
+	if o.Parallelism < 1 {
+		o.Parallelism = 1
 	}
 	// Scheme and Strat keep their zero values (Independent, NoStrat) when
 	// set explicitly; DefaultOptions selects the paper's best performers
@@ -192,6 +207,7 @@ func Select(opt *optimizer.Optimizer, w *workload.Workload, configs []*physical.
 		StabilityWindow:      o.StabilityWindow,
 		EliminationThreshold: o.EliminationThreshold,
 		MaxCalls:             o.MaxCalls,
+		Parallelism:          o.Parallelism,
 		RNG:                  stats.NewRNG(o.Seed),
 		TemplateIndex:        w.TemplateIndexOf(),
 		TemplateCount:        w.NumTemplates(),
@@ -252,7 +268,7 @@ func applyConservative(opt *optimizer.Optimizer, w *workload.Workload, configs [
 		bounds.SetMetrics(o.Metrics)
 	}
 	span := o.Tracer.Begin("derive_bounds", obs.KV{Key: "rho", Value: o.Rho})
-	d := bounds.NewDeriver(opt, configs...)
+	d := bounds.NewDeriver(opt, configs...).WithParallelism(o.Parallelism)
 	ivs := d.WorkloadIntervals(w)
 
 	// Delta Sampling estimates cost differences; Independent Sampling

@@ -1,0 +1,126 @@
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"time"
+
+	"physdes/internal/core"
+	"physdes/internal/physical"
+	"physdes/internal/sampling"
+	"physdes/internal/stats"
+)
+
+// ParallelRow is one point of the batch-pool speedup curve: the same
+// fine-stratified selection run at a fixed worker count.
+type ParallelRow struct {
+	Workers     int     `json:"workers"`
+	Calls       int64   `json:"calls"`
+	ElapsedMS   float64 `json:"elapsed_ms"`
+	CallsPerSec float64 `json:"calls_per_sec"`
+	NsPerCall   float64 `json:"ns_per_call"`
+	Speedup     float64 `json:"speedup"`
+}
+
+// WorkerSweep returns the benchmark worker counts {1, 2, 4, ...} doubling
+// up to max (max itself is included even off the power-of-two grid).
+func WorkerSweep(max int) []int {
+	if max < 1 {
+		max = 1
+	}
+	var out []int
+	for w := 1; w <= max; w *= 2 {
+		out = append(out, w)
+	}
+	if last := out[len(out)-1]; last != max {
+		out = append(out, max)
+	}
+	return out
+}
+
+// parallelOptions is the selection the speedup curve measures: Delta
+// Sampling with fine (per-template) stratification over the TPC-D
+// workload, in fixed-budget mode so every run spends the same number of
+// what-if calls regardless of worker count. The large pilot (NMin per
+// template × k configurations) is the batch the pool overlaps.
+func parallelOptions(seed uint64, workers int) core.Options {
+	return core.Options{
+		Scheme:      sampling.Delta,
+		Strat:       sampling.Fine,
+		NMin:        60,
+		MaxCalls:    20_000,
+		Seed:        seed,
+		Parallelism: workers,
+	}
+}
+
+// ParallelSpeedup measures the batched what-if layer's call throughput at
+// each worker count over `repeats` repetitions, and verifies the
+// determinism contract on the way: every parallel run must reproduce the
+// serial run's selection and Pr(CS) bit-for-bit.
+func ParallelSpeedup(s *Scenario, workers []int, repeats int, p Params) ([]ParallelRow, error) {
+	p = p.withDefaults()
+	if repeats < 1 {
+		repeats = 3
+	}
+	configs := physical.GenerateSpace(s.Cat, s.Candidates, 16, stats.NewRNG(p.Seed+17),
+		physical.SpaceOptions{MinStructures: 3, MaxStructures: 8})
+	if len(configs) < 2 {
+		return nil, fmt.Errorf("experiments: parallel: only %d configurations", len(configs))
+	}
+
+	var baselineBest int
+	var baselinePrCS float64
+	var baselineNsPerCall float64
+	rows := make([]ParallelRow, 0, len(workers))
+	for wi, wk := range workers {
+		var calls int64
+		var elapsed time.Duration
+		for r := 0; r < repeats; r++ {
+			o := parallelOptions(p.Seed+31, wk)
+			start := time.Now()
+			sel, err := core.Select(s.Opt, s.W, configs, o)
+			if err != nil {
+				return nil, fmt.Errorf("experiments: parallel (workers=%d): %w", wk, err)
+			}
+			elapsed += time.Since(start)
+			calls += sel.OptimizerCalls
+			if wi == 0 && r == 0 {
+				baselineBest, baselinePrCS = sel.BestIndex, sel.PrCS
+			} else if sel.BestIndex != baselineBest || sel.PrCS != baselinePrCS {
+				return nil, fmt.Errorf(
+					"experiments: parallel: determinism violated at workers=%d: best=%d prcs=%v (baseline best=%d prcs=%v)",
+					wk, sel.BestIndex, sel.PrCS, baselineBest, baselinePrCS)
+			}
+		}
+		nsPerCall := float64(elapsed.Nanoseconds()) / float64(calls)
+		row := ParallelRow{
+			Workers:     wk,
+			Calls:       calls / int64(repeats),
+			ElapsedMS:   elapsed.Seconds() * 1000 / float64(repeats),
+			CallsPerSec: float64(calls) / elapsed.Seconds(),
+			NsPerCall:   nsPerCall,
+		}
+		if wi == 0 {
+			baselineNsPerCall = nsPerCall
+		}
+		row.Speedup = baselineNsPerCall / nsPerCall
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// WriteParallelJSON writes the speedup curve as a JSON document (the
+// BENCH_parallel.json artifact tracked across revisions).
+func WriteParallelJSON(path string, rows []ParallelRow) error {
+	doc := struct {
+		Benchmark string        `json:"benchmark"`
+		Rows      []ParallelRow `json:"rows"`
+	}{Benchmark: "parallel-select", Rows: rows}
+	data, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}

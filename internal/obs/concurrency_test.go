@@ -1,0 +1,120 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// TestRegistryConcurrentInstruments shares one registry's handles across a
+// worker pool the way the batch evaluation layer does — one resolve, many
+// concurrent updates — and asserts the totals come out exact. Run under
+// -race this is the registry's data-race exercise.
+func TestRegistryConcurrentInstruments(t *testing.T) {
+	r := NewRegistry()
+	ctr := r.Counter("storm_total")
+	gauge := r.Gauge("storm_inflight")
+	hist := r.Histogram("storm_size")
+
+	const (
+		workers = 8
+		iters   = 500
+	)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			// Resolving by name concurrently must hand back the same
+			// instrument, not a fresh one.
+			myCtr := r.Counter("storm_total")
+			for i := 0; i < iters; i++ {
+				myCtr.Inc()
+				gauge.Add(1)
+				hist.Observe(float64(i % 7))
+				gauge.Add(-1)
+			}
+		}()
+	}
+	wg.Wait()
+
+	if got := ctr.Value(); got != workers*iters {
+		t.Errorf("counter = %d, want %d", got, workers*iters)
+	}
+	if got := gauge.Value(); got != 0 {
+		t.Errorf("gauge = %v, want 0 after balanced adds", got)
+	}
+	if got := hist.Count(); got != workers*iters {
+		t.Errorf("histogram count = %d, want %d", got, workers*iters)
+	}
+	wantSum := 0.0
+	for i := 0; i < iters; i++ {
+		wantSum += float64(i % 7)
+	}
+	wantSum *= workers
+	if got := hist.Sum(); got != wantSum {
+		t.Errorf("histogram sum = %v, want %v", got, wantSum)
+	}
+}
+
+// TestTracerConcurrentEmit shares one tracer across pool workers emitting
+// events and spans into a single buffer, then asserts no line was torn:
+// the line count matches the event count and every line parses as JSON
+// with a distinct sequence number.
+func TestTracerConcurrentEmit(t *testing.T) {
+	var buf bytes.Buffer
+	tr := NewTracer(&buf)
+
+	const (
+		workers = 8
+		iters   = 200
+	)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				if i%2 == 0 {
+					tr.Emit("batch_item", KV{"worker", w}, KV{"i", i})
+				} else {
+					sp := tr.Begin("batch_span", KV{"worker", w})
+					sp.End(KV{"i", i})
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if err := tr.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Even i emits one line, odd i emits two (begin + end).
+	wantLines := workers * (iters/2 + 2*(iters/2))
+	lines := strings.Split(strings.TrimRight(buf.String(), "\n"), "\n")
+	if len(lines) != wantLines {
+		t.Fatalf("got %d lines, want %d", len(lines), wantLines)
+	}
+	seen := make(map[int64]bool, wantLines)
+	for n, line := range lines {
+		var ev struct {
+			Seq *int64 `json:"seq"`
+			Ev  string `json:"ev"`
+		}
+		if err := json.Unmarshal([]byte(line), &ev); err != nil {
+			t.Fatalf("line %d is not valid JSON (%v): %q", n, err, line)
+		}
+		if ev.Seq == nil {
+			t.Fatalf("line %d missing seq: %q", n, line)
+		}
+		if seen[*ev.Seq] {
+			t.Fatalf("duplicate seq %d at line %d", *ev.Seq, n)
+		}
+		seen[*ev.Seq] = true
+		if ev.Ev != "batch_item" && !strings.HasPrefix(ev.Ev, "batch_span") {
+			t.Fatalf("line %d has unexpected event %q", n, ev.Ev)
+		}
+	}
+}

@@ -1,0 +1,106 @@
+package optimizer
+
+import (
+	"sync/atomic"
+
+	"physdes/internal/par"
+	"physdes/internal/physical"
+	"physdes/internal/sqlparse"
+)
+
+// Request is one (statement, configuration) item of a batched what-if
+// evaluation.
+type Request struct {
+	Analysis *sqlparse.Analysis
+	Config   *physical.Configuration
+}
+
+// minParallelBatch is the batch size below which dispatching to the worker
+// pool costs more than the microsecond-scale what-if calls it would
+// overlap; smaller batches evaluate inline on the calling goroutine.
+const minParallelBatch = 16
+
+// Batch evaluates every request over a bounded worker pool and returns the
+// costs in request order. See BatchInto for the semantics.
+func (o *Optimizer) Batch(reqs []Request, parallelism int) []float64 {
+	out := make([]float64, len(reqs))
+	o.BatchInto(reqs, out, parallelism)
+	return out
+}
+
+// BatchInto evaluates reqs[i] into out[i] using up to `parallelism`
+// workers (<= 1, or a batch below the inline threshold, evaluates
+// serially). Each request charges exactly one optimizer call, so the call
+// accounting is identical to len(reqs) serial Cost invocations; the costs
+// themselves are pure functions of (statement, configuration), so out is
+// bit-identical at every parallelism level. Workers only write into their
+// positional slot — order-sensitive reductions belong to the caller.
+func (o *Optimizer) BatchInto(reqs []Request, out []float64, parallelism int) {
+	n := len(reqs)
+	if n == 0 {
+		return
+	}
+	if len(out) < n {
+		panic("optimizer: BatchInto output slice shorter than request slice")
+	}
+	m := o.metrics.Load()
+	if m != nil {
+		m.batches.Inc()
+		m.batchReqs.Add(int64(n))
+		m.batchSize.Observe(float64(n))
+	}
+	if parallelism <= 1 || n < minParallelBatch {
+		for i, r := range reqs {
+			out[i] = o.Cost(r.Analysis, r.Config)
+		}
+		return
+	}
+	// claimed tracks pool saturation: batch_inflight is the number of busy
+	// workers at any instant, batch_queue_depth the requests not yet
+	// claimed from the current batch.
+	var claimed atomic.Int64
+	par.For(n, parallelism, func(i int) {
+		if m != nil {
+			m.batchInflight.Add(1)
+			m.batchQueue.Set(float64(n) - float64(claimed.Add(1)))
+		}
+		out[i] = o.Cost(reqs[i].Analysis, reqs[i].Config)
+		if m != nil {
+			m.batchInflight.Add(-1)
+		}
+	})
+	if m != nil {
+		m.batchQueue.Set(0)
+	}
+}
+
+// Batch evaluates every request through the memo table over a bounded
+// worker pool, returning costs in request order. Hits and misses are
+// accounted per request exactly like Cost; when several in-flight requests
+// miss on the same key concurrently, each pays an inner optimizer call and
+// the (identical, the cost model is pure) value is stored once.
+func (c *Cached) Batch(reqs []Request, parallelism int) []float64 {
+	out := make([]float64, len(reqs))
+	c.BatchInto(reqs, out, parallelism)
+	return out
+}
+
+// BatchInto is Batch writing into a caller-provided slice.
+func (c *Cached) BatchInto(reqs []Request, out []float64, parallelism int) {
+	n := len(reqs)
+	if n == 0 {
+		return
+	}
+	if len(out) < n {
+		panic("optimizer: BatchInto output slice shorter than request slice")
+	}
+	if parallelism <= 1 || n < minParallelBatch {
+		for i, r := range reqs {
+			out[i] = c.Cost(r.Analysis, r.Config)
+		}
+		return
+	}
+	par.For(n, parallelism, func(i int) {
+		out[i] = c.Cost(reqs[i].Analysis, reqs[i].Config)
+	})
+}

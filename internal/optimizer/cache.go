@@ -1,6 +1,7 @@
 package optimizer
 
 import (
+	"reflect"
 	"sync"
 	"sync/atomic"
 
@@ -18,17 +19,36 @@ import (
 //
 // Keys combine the statement's pointer identity with the configuration
 // fingerprint: analyses are immutable once built by the workload package,
-// so pointer identity is a sound statement key within one process.
+// so pointer identity is a sound statement key within one process. The
+// invariant cuts both ways — two *distinct* parses of the same SQL text
+// are distinct keys and intentionally do not share entries (see
+// TestCacheKeyPointerIdentity).
+//
+// The memo table is sharded so batch-pool workers hammering the cache
+// concurrently contend on per-shard locks instead of one global RWMutex.
+// Two racing misses on the same key may both consult the inner optimizer
+// (each charged as a call); the cost model is a pure function, so both
+// compute the same value and the duplicate store is harmless.
 type Cached struct {
 	inner *Optimizer
 
-	mu    sync.RWMutex
-	table map[cacheKey]float64
+	shards  [cacheShards]cacheShard
+	entries atomic.Int64
 
 	hits   atomic.Int64
 	misses atomic.Int64
 
 	metrics atomic.Pointer[cacheMetrics]
+}
+
+// cacheShards is the shard count: far above any realistic worker count so
+// shard collisions under a saturated pool stay rare. Must be a power of
+// two (the shard index is a hash mask).
+const cacheShards = 64
+
+type cacheShard struct {
+	mu    sync.RWMutex
+	table map[cacheKey]float64
 }
 
 // cacheMetrics holds the registry handles resolved by SetMetrics.
@@ -38,14 +58,42 @@ type cacheMetrics struct {
 	entries *obs.Gauge
 }
 
+// cacheKey is comparable: two keys are equal iff they hold the same
+// *sqlparse.Analysis pointer AND the same configuration fingerprint.
 type cacheKey struct {
 	a   *sqlparse.Analysis
 	cfg string
 }
 
+const (
+	fnvOffset64 = 14695981039346656037
+	fnvPrime64  = 1099511628211
+)
+
+// shardIndex hashes a key to its shard: FNV-1a over the configuration
+// fingerprint, mixed with the analysis pointer (shifted past alignment
+// zeros). Both components matter — a Delta row keeps the statement fixed
+// across k configurations while a greedy tuner probe keeps the
+// configuration fixed across N statements; either alone would serialize
+// one of those access patterns onto a single shard.
+func shardIndex(key cacheKey) int {
+	h := uint64(fnvOffset64)
+	for i := 0; i < len(key.cfg); i++ {
+		h ^= uint64(key.cfg[i])
+		h *= fnvPrime64
+	}
+	h ^= uint64(reflect.ValueOf(key.a).Pointer()) >> 3
+	h *= fnvPrime64
+	return int(h & (cacheShards - 1))
+}
+
 // NewCached wraps an optimizer with a memo table.
 func NewCached(inner *Optimizer) *Cached {
-	return &Cached{inner: inner, table: make(map[cacheKey]float64)}
+	c := &Cached{inner: inner}
+	for i := range c.shards {
+		c.shards[i].table = make(map[cacheKey]float64)
+	}
+	return c
 }
 
 // SetMetrics exports the cache's hit/miss accounting on the registry:
@@ -67,9 +115,10 @@ func (c *Cached) SetMetrics(r *obs.Registry) {
 // miss.
 func (c *Cached) Cost(a *sqlparse.Analysis, cfg *physical.Configuration) float64 {
 	key := cacheKey{a: a, cfg: cfg.Fingerprint()}
-	c.mu.RLock()
-	v, ok := c.table[key]
-	c.mu.RUnlock()
+	sh := &c.shards[shardIndex(key)]
+	sh.mu.RLock()
+	v, ok := sh.table[key]
+	sh.mu.RUnlock()
 	m := c.metrics.Load()
 	if ok {
 		c.hits.Add(1)
@@ -83,12 +132,14 @@ func (c *Cached) Cost(a *sqlparse.Analysis, cfg *physical.Configuration) float64
 		m.misses.Inc()
 	}
 	v = c.inner.Cost(a, cfg)
-	c.mu.Lock()
-	c.table[key] = v
-	n := len(c.table)
-	c.mu.Unlock()
+	sh.mu.Lock()
+	if _, dup := sh.table[key]; !dup {
+		sh.table[key] = v
+		c.entries.Add(1)
+	}
+	sh.mu.Unlock()
 	if m != nil {
-		m.entries.Set(float64(n))
+		m.entries.Set(float64(c.entries.Load()))
 	}
 	return v
 }
@@ -105,12 +156,8 @@ func (c *Cached) Hits() int64 { return c.hits.Load() }
 // Misses returns the number of calls forwarded to the optimizer.
 func (c *Cached) Misses() int64 { return c.misses.Load() }
 
-// Entries returns the memo table size.
-func (c *Cached) Entries() int {
-	c.mu.RLock()
-	defer c.mu.RUnlock()
-	return len(c.table)
-}
+// Entries returns the memo table size (summed across shards).
+func (c *Cached) Entries() int { return int(c.entries.Load()) }
 
 // Inner returns the wrapped optimizer (for call accounting).
 func (c *Cached) Inner() *Optimizer { return c.inner }
@@ -118,9 +165,13 @@ func (c *Cached) Inner() *Optimizer { return c.inner }
 // Reset clears the memo table and counters. Registry counters are
 // monotonic and keep their totals; the entries gauge drops to zero.
 func (c *Cached) Reset() {
-	c.mu.Lock()
-	c.table = make(map[cacheKey]float64)
-	c.mu.Unlock()
+	for i := range c.shards {
+		sh := &c.shards[i]
+		sh.mu.Lock()
+		sh.table = make(map[cacheKey]float64)
+		sh.mu.Unlock()
+	}
+	c.entries.Store(0)
 	c.hits.Store(0)
 	c.misses.Store(0)
 	if m := c.metrics.Load(); m != nil {

@@ -1,0 +1,157 @@
+package optimizer
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"physdes/internal/physical"
+	"physdes/internal/sqlparse"
+)
+
+// TestCacheKeyPointerIdentity pins the cacheKey semantics the sharded
+// rewrite must preserve: keys are (Analysis pointer, configuration
+// fingerprint) pairs, equal exactly when both components match. Two
+// distinct parses of the same SQL text are distinct keys by design.
+func TestCacheKeyPointerIdentity(t *testing.T) {
+	a1 := analyze(t, "SELECT l_quantity FROM lineitem WHERE l_orderkey = 5")
+	a2 := analyze(t, "SELECT l_quantity FROM lineitem WHERE l_orderkey = 5")
+	if a1 == a2 {
+		t.Fatal("parser returned the same *Analysis for two parses; pointer-identity keys need fresh allocations")
+	}
+	if (cacheKey{a: a1, cfg: "X"}) != (cacheKey{a: a1, cfg: "X"}) {
+		t.Error("identical (pointer, fingerprint) keys must compare equal")
+	}
+	if (cacheKey{a: a1, cfg: "X"}) == (cacheKey{a: a2, cfg: "X"}) {
+		t.Error("distinct parses of the same SQL must yield distinct keys")
+	}
+	if (cacheKey{a: a1, cfg: "X"}) == (cacheKey{a: a1, cfg: "Y"}) {
+		t.Error("distinct fingerprints must yield distinct keys")
+	}
+	// Shard routing must be a pure in-range function of the key.
+	k := cacheKey{a: a1, cfg: "X"}
+	if shardIndex(k) != shardIndex(k) {
+		t.Error("shardIndex is not stable for equal keys")
+	}
+	if idx := shardIndex(k); idx < 0 || idx >= cacheShards {
+		t.Errorf("shardIndex out of range: %d", idx)
+	}
+}
+
+// TestCachedSameFingerprintSharesEntry is the flip side of pointer-identity
+// statement keys: two distinct *Configuration values built from the same
+// structures share a fingerprint, hence a cache entry.
+func TestCachedSameFingerprintSharesEntry(t *testing.T) {
+	c := NewCached(New(testCat))
+	a := analyze(t, "SELECT l_quantity FROM lineitem WHERE l_orderkey = 5")
+	cfgA := physical.NewConfiguration("ix", physical.NewIndex("lineitem", []string{"l_orderkey"}))
+	cfgB := physical.NewConfiguration("ix", physical.NewIndex("lineitem", []string{"l_orderkey"}))
+	if cfgA == cfgB {
+		t.Fatal("want distinct Configuration values")
+	}
+	if cfgA.Fingerprint() != cfgB.Fingerprint() {
+		t.Fatalf("equal configurations should share a fingerprint: %q vs %q",
+			cfgA.Fingerprint(), cfgB.Fingerprint())
+	}
+	if va, vb := c.Cost(a, cfgA), c.Cost(a, cfgB); va != vb {
+		t.Errorf("shared entry returned different values: %v vs %v", va, vb)
+	}
+	if h, m, e := c.Stats(); h != 1 || m != 1 || e != 1 {
+		t.Errorf("hits/misses/entries = %d/%d/%d, want 1/1/1", h, m, e)
+	}
+}
+
+// TestCachedShardedStorm hammers the sharded memo table from many
+// goroutines with a mixed hit/miss workload: half the key grid is
+// pre-warmed (guaranteed hits), the other half races to fill. The
+// accounting must balance exactly — every request is either a hit or a
+// miss — the table must end with exactly one entry per distinct key, and
+// every value must match a serial reference. Under -race this doubles as
+// the cache's data-race exercise.
+func TestCachedShardedStorm(t *testing.T) {
+	c := NewCached(New(testCat))
+
+	const nStatements = 24
+	analyses := make([]*sqlparse.Analysis, nStatements)
+	for i := range analyses {
+		analyses[i] = analyze(t, fmt.Sprintf(
+			"SELECT l_quantity FROM lineitem WHERE l_orderkey = %d", i+1))
+	}
+	configs := []*physical.Configuration{
+		physical.NewConfiguration("empty"),
+		physical.NewConfiguration("ix1", physical.NewIndex("lineitem", []string{"l_orderkey"})),
+		physical.NewConfiguration("ix2", physical.NewIndex("lineitem", []string{"l_quantity"})),
+		physical.NewConfiguration("ix3", physical.NewIndex("lineitem", []string{"l_orderkey", "l_quantity"})),
+	}
+	distinct := nStatements * len(configs)
+
+	// Serial reference values, computed on a separate cache so the storm
+	// cache's counters start clean.
+	ref := NewCached(New(testCat))
+	want := make(map[cacheKey]float64, distinct)
+	for _, a := range analyses {
+		for _, cfg := range configs {
+			want[cacheKey{a: a, cfg: cfg.Fingerprint()}] = ref.Cost(a, cfg)
+		}
+	}
+
+	// Pre-warm the even statements: those keys are hits for every worker.
+	for i := 0; i < nStatements; i += 2 {
+		for _, cfg := range configs {
+			c.Cost(analyses[i], cfg)
+		}
+	}
+	warmMisses := c.Misses()
+
+	const (
+		workers = 16
+		rounds  = 8
+	)
+	var wg sync.WaitGroup
+	errs := make(chan error, workers)
+	for wkr := 0; wkr < workers; wkr++ {
+		wg.Add(1)
+		go func(wkr int) {
+			defer wg.Done()
+			for r := 0; r < rounds; r++ {
+				// Stagger start points so goroutines collide on different
+				// shards at different times.
+				for s := 0; s < nStatements; s++ {
+					a := analyses[(s+wkr)%nStatements]
+					for _, cfg := range configs {
+						got := c.Cost(a, cfg)
+						if w := want[cacheKey{a: a, cfg: cfg.Fingerprint()}]; got != w {
+							select {
+							case errs <- fmt.Errorf("worker %d: cost %v, want %v", wkr, got, w):
+							default:
+							}
+							return
+						}
+					}
+				}
+			}
+		}(wkr)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+
+	total := int64(distinct/2) + int64(workers*rounds*distinct)
+	hits, misses, entries := c.Stats()
+	if hits+misses != total {
+		t.Errorf("hits(%d) + misses(%d) = %d, want %d requests", hits, misses, hits+misses, total)
+	}
+	if entries != distinct {
+		t.Errorf("entries = %d, want %d distinct keys", entries, distinct)
+	}
+	// Racing first-misses on a cold key may each consult the inner
+	// optimizer, so misses can exceed the distinct-key count — but never
+	// the theoretical worst case of every worker missing every cold key
+	// once plus the warm-up, and never fewer than one per distinct key.
+	if misses < int64(distinct) || misses > warmMisses+int64(workers*distinct/2) {
+		t.Errorf("misses = %d outside plausible range [%d, %d]",
+			misses, distinct, warmMisses+int64(workers*distinct/2))
+	}
+}

@@ -1,0 +1,50 @@
+// Package par provides the bounded worker pool shared by the batched
+// what-if evaluation paths (optimizer batches, bound derivation, greedy
+// tuner probes). It is deliberately tiny: callers express work as an
+// indexed loop, and For fans the indices out over at most `workers`
+// goroutines. Determinism is the caller's contract — workers must only
+// write results into positional slots; any order-sensitive reduction
+// happens after For returns.
+package par
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Default returns the default worker count: runtime.GOMAXPROCS(0).
+func Default() int { return runtime.GOMAXPROCS(0) }
+
+// For runs f(i) for every i in [0, n) using up to `workers` goroutines.
+// Indices are claimed from a shared atomic counter, so workers stay busy
+// regardless of per-item skew. With workers <= 1 (or n <= 1) the loop runs
+// inline on the calling goroutine in index order. For returns after every
+// f has returned.
+func For(n, workers int, f func(i int)) {
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			f(i)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				f(i)
+			}
+		}()
+	}
+	wg.Wait()
+}

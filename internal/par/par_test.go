@@ -1,0 +1,51 @@
+package par
+
+import (
+	"sync/atomic"
+	"testing"
+)
+
+// TestForCoversEveryIndexOnce checks the pool's one invariant at every
+// interesting worker count: each index in [0, n) is claimed exactly once,
+// and For returns only after every f has.
+func TestForCoversEveryIndexOnce(t *testing.T) {
+	for _, tc := range []struct{ n, workers int }{
+		{0, 4}, {1, 4}, {7, 1}, {7, 0}, {7, -2}, {100, 3}, {100, 8}, {5, 100},
+	} {
+		counts := make([]atomic.Int32, max(tc.n, 1))
+		For(tc.n, tc.workers, func(i int) {
+			if i < 0 || i >= tc.n {
+				t.Errorf("n=%d workers=%d: index %d out of range", tc.n, tc.workers, i)
+				return
+			}
+			counts[i].Add(1)
+		})
+		for i := 0; i < tc.n; i++ {
+			if got := counts[i].Load(); got != 1 {
+				t.Errorf("n=%d workers=%d: index %d ran %d times", tc.n, tc.workers, i, got)
+			}
+		}
+	}
+}
+
+// TestForSerialOrder pins the inline path: workers <= 1 visits indices in
+// ascending order on the calling goroutine (the determinism contract's
+// serial baseline).
+func TestForSerialOrder(t *testing.T) {
+	var order []int
+	For(5, 1, func(i int) { order = append(order, i) })
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("serial order %v, want ascending", order)
+		}
+	}
+	if len(order) != 5 {
+		t.Fatalf("serial path ran %d of 5 indices", len(order))
+	}
+}
+
+func TestDefaultPositive(t *testing.T) {
+	if Default() < 1 {
+		t.Errorf("Default() = %d, want >= 1", Default())
+	}
+}

@@ -144,11 +144,31 @@ func (d *deltaSampler) sampleFrom(h int) bool {
 	}
 	q := s.order[s.next]
 	s.next++
-	s.n++
-	d.sampled++
-	d.met.samples.Inc()
+	d.fold(h, q, d.evalRow(q))
+	return true
+}
 
+// evalRow costs query q under every alive configuration, NaN-marking the
+// eliminated ones. With Parallelism > 1 the row goes through the oracle's
+// batch path; the values are identical either way (pure cost model).
+func (d *deltaSampler) evalRow(q int) []float64 {
 	costs := make([]float64, d.k)
+	if d.opts.Parallelism > 1 && d.aliveCount > 1 {
+		pairs := make([]Pair, 0, d.aliveCount)
+		for j := 0; j < d.k; j++ {
+			if d.alive[j] {
+				pairs = append(pairs, Pair{Q: q, J: j})
+			} else {
+				costs[j] = math.NaN()
+			}
+		}
+		out := make([]float64, len(pairs))
+		batchCost(d.o, pairs, out, d.opts.Parallelism)
+		for i, p := range pairs {
+			costs[p.J] = out[i]
+		}
+		return costs
+	}
 	for j := 0; j < d.k; j++ {
 		if !d.alive[j] {
 			costs[j] = math.NaN()
@@ -156,6 +176,19 @@ func (d *deltaSampler) sampleFrom(h int) bool {
 		}
 		costs[j] = d.o.Cost(q, j)
 	}
+	return costs
+}
+
+// fold records one sampled row of stratum h into the accumulators. The
+// fold is the only place sampling state mutates, and it always runs
+// serially in schedule order — this is what keeps parallel and serial runs
+// bit-identical.
+func (d *deltaSampler) fold(h, q int, costs []float64) {
+	s := d.strata[h]
+	s.n++
+	d.sampled++
+	d.met.samples.Inc()
+
 	tmpl := 0
 	if d.opts.TemplateIndex != nil {
 		tmpl = d.opts.TemplateIndex[q]
@@ -179,7 +212,6 @@ func (d *deltaSampler) sampleFrom(h int) bool {
 		}
 	}
 	d.tCount[tmpl]++
-	return true
 }
 
 // estimate returns X_j = Σ_h |WL_h|·mean_h(j) for an alive configuration.
@@ -603,16 +635,18 @@ func (d *deltaSampler) indexOf(s *dStratum) int {
 	return -1
 }
 
-// run executes Algorithm 1 and returns the result.
-func (d *deltaSampler) run() *Result {
-	tr := d.opts.Tracer
-	// Pilot phase: n_min per stratum (clamped to stratum size and budget).
-	// Strata are filled round-robin in a shuffled order so a
-	// budget-truncated pilot (fixed-budget mode with many strata) covers a
-	// random subset of every stratum instead of completing some strata and
-	// leaving others untouched — the latter would bias the estimator
-	// systematically across Monte-Carlo runs.
+// pilot runs the pilot phase: n_min per stratum (clamped to stratum size
+// and budget). Strata are filled round-robin in a shuffled order so a
+// budget-truncated pilot (fixed-budget mode with many strata) covers a
+// random subset of every stratum instead of completing some strata and
+// leaving others untouched — the latter would bias the estimator
+// systematically across Monte-Carlo runs.
+func (d *deltaSampler) pilot() {
 	order := d.opts.RNG.Perm(len(d.strata))
+	if d.opts.Parallelism > 1 {
+		d.pilotBatched(order)
+		return
+	}
 	for {
 		progress := false
 		for _, h := range order {
@@ -628,6 +662,63 @@ func (d *deltaSampler) run() *Result {
 			break
 		}
 	}
+}
+
+// pilotBatched evaluates the whole pilot as one batch. The serial
+// round-robin — including its per-row budget check (every configuration is
+// alive during the pilot, so a row costs exactly k calls) — is replayed
+// without touching the oracle to precompute the schedule, the schedule's
+// (query × alive configuration) pairs are evaluated in one BatchCost, and
+// the rows are folded serially in schedule order. The resulting sampler
+// state and call accounting are bit-identical to the serial pilot.
+func (d *deltaSampler) pilotBatched(order []int) {
+	type slot struct{ h, q int }
+	var schedule []slot
+	calls := d.o.Calls()
+	taken := make([]int, len(d.strata))
+outer:
+	for {
+		progress := false
+		for _, h := range order {
+			s := d.strata[h]
+			want := d.opts.NMin
+			if want > s.size {
+				want = s.size
+			}
+			if taken[h] >= want {
+				continue
+			}
+			if d.opts.MaxCalls > 0 && calls+int64(d.k) > d.opts.MaxCalls {
+				break outer // the budget only shrinks: no later row fits either
+			}
+			schedule = append(schedule, slot{h: h, q: s.order[taken[h]]})
+			taken[h]++
+			calls += int64(d.k)
+			progress = true
+		}
+		if !progress {
+			break
+		}
+	}
+
+	pairs := make([]Pair, 0, len(schedule)*d.k)
+	for _, sl := range schedule {
+		for j := 0; j < d.k; j++ {
+			pairs = append(pairs, Pair{Q: sl.q, J: j})
+		}
+	}
+	out := make([]float64, len(pairs))
+	batchCost(d.o, pairs, out, d.opts.Parallelism)
+	for i, sl := range schedule {
+		d.strata[sl.h].next++
+		d.fold(sl.h, sl.q, out[i*d.k:(i+1)*d.k:(i+1)*d.k])
+	}
+}
+
+// run executes Algorithm 1 and returns the result.
+func (d *deltaSampler) run() *Result {
+	tr := d.opts.Tracer
+	d.pilot()
 	d.chooseBest()
 	if tr.Enabled() {
 		tr.Emit("pilot.done",

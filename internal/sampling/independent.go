@@ -126,12 +126,20 @@ func (s *independentSampler) sampleFrom(j, h int) bool {
 	}
 	q := st.order[st.next]
 	st.next++
+	s.fold(j, h, q, s.o.Cost(q, j))
+	return true
+}
+
+// fold records one sample of configuration j's stratum h. As in the Delta
+// sampler, the fold is the only state mutation and always runs serially in
+// schedule order (the determinism contract).
+func (s *independentSampler) fold(j, h, q int, c float64) {
+	st := s.cfg[j].strata[h]
 	st.n++
 	s.sampled++
 	s.met.samples.Inc()
 	s.lastSampled = j
 
-	c := s.o.Cost(q, j)
 	st.sum += c
 	st.sumsq += c * c
 	tmpl := 0
@@ -141,7 +149,6 @@ func (s *independentSampler) sampleFrom(j, h int) bool {
 	s.tCount[tmpl][j]++
 	s.tSum[tmpl][j] += c
 	s.tSumsq[tmpl][j] += c * c
-	return true
 }
 
 // estimate returns X_j = Σ_h |WL_h|·mean_h over configuration j's strata,
@@ -453,11 +460,15 @@ func (s *independentSampler) stratumIndex(ci int, st *icStratum) int {
 	return -1
 }
 
-func (s *independentSampler) run() *Result {
-	tr := s.opts.Tracer
-	// Pilot: round-robin over shuffled (configuration, stratum) slots so a
-	// truncated pilot spreads evenly (see the Delta sampler's pilot note).
+// pilot runs the pilot phase: round-robin over shuffled (configuration,
+// stratum) slots so a truncated pilot spreads evenly (see the Delta
+// sampler's pilot note).
+func (s *independentSampler) pilot() {
 	order := s.opts.RNG.Perm(s.k)
+	if s.opts.Parallelism > 1 {
+		s.pilotBatched(order)
+		return
+	}
 	for {
 		progress := false
 		for _, j := range order {
@@ -476,6 +487,62 @@ func (s *independentSampler) run() *Result {
 			break
 		}
 	}
+}
+
+// pilotBatched evaluates the whole pilot as one batch: the serial
+// round-robin (one optimizer call per sample, budget-checked per sample)
+// is replayed to precompute the schedule, the schedule evaluates in one
+// BatchCost, and samples fold serially in schedule order — bit-identical
+// state and accounting versus the serial pilot.
+func (s *independentSampler) pilotBatched(order []int) {
+	type slot struct{ j, h, q int }
+	var schedule []slot
+	calls := s.o.Calls()
+	taken := make([][]int, s.k)
+	for j := range taken {
+		taken[j] = make([]int, len(s.cfg[j].strata))
+	}
+outer:
+	for {
+		progress := false
+		for _, j := range order {
+			for h, st := range s.cfg[j].strata {
+				want := s.opts.NMin
+				if want > st.size {
+					want = st.size
+				}
+				if taken[j][h] >= want {
+					continue
+				}
+				if s.opts.MaxCalls > 0 && calls >= s.opts.MaxCalls {
+					break outer // no later sample fits either
+				}
+				schedule = append(schedule, slot{j: j, h: h, q: st.order[taken[j][h]]})
+				taken[j][h]++
+				calls++
+				progress = true
+			}
+		}
+		if !progress {
+			break
+		}
+	}
+
+	pairs := make([]Pair, len(schedule))
+	for i, sl := range schedule {
+		pairs[i] = Pair{Q: sl.q, J: sl.j}
+	}
+	out := make([]float64, len(pairs))
+	batchCost(s.o, pairs, out, s.opts.Parallelism)
+	for i, sl := range schedule {
+		s.cfg[sl.j].strata[sl.h].next++
+		s.fold(sl.j, sl.h, sl.q, out[i])
+	}
+}
+
+func (s *independentSampler) run() *Result {
+	tr := s.opts.Tracer
+	s.pilot()
 	s.chooseBest()
 	if tr.Enabled() {
 		tr.Emit("pilot.done",

@@ -93,6 +93,14 @@ type Options struct {
 	// RNG drives all randomness; required.
 	RNG *stats.RNG
 
+	// Parallelism, when > 1, routes batched cost requests — the whole
+	// pilot phase and each Delta row — through the oracle's batch path
+	// (BatchOracle) over a bounded worker pool. 0 or 1 evaluates serially.
+	// Results are bit-identical at every setting: workers only compute
+	// pure cost values into positional slots, and every statistical fold
+	// runs serially in the order the serial schedule would have produced.
+	Parallelism int
+
 	// TemplateIndex maps each query to a dense template index; required
 	// for any stratification mode (see workload.TemplateIndexOf).
 	TemplateIndex []int

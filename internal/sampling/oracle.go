@@ -33,6 +33,37 @@ type Oracle interface {
 	Calls() int64
 }
 
+// Pair identifies one (query, configuration) request of a batched cost
+// evaluation: query index Q under configuration index J.
+type Pair struct {
+	Q, J int
+}
+
+// BatchOracle is an Oracle that can evaluate many pairs at once, fanning
+// the work over a bounded pool. Implementations must charge exactly one
+// optimizer call per pair (identical accounting to len(pairs) Cost calls)
+// and must produce values identical to serial Cost at every parallelism
+// level — the samplers rely on this for their determinism contract.
+type BatchOracle interface {
+	Oracle
+	// BatchCost evaluates pairs[i] into out[i] using up to parallelism
+	// workers. len(out) must be >= len(pairs).
+	BatchCost(pairs []Pair, out []float64, parallelism int)
+}
+
+// batchCost evaluates pairs through the oracle's batch path when it has
+// one and parallel evaluation was requested, falling back to sequential
+// Cost calls in pair order.
+func batchCost(o Oracle, pairs []Pair, out []float64, parallelism int) {
+	if bo, ok := o.(BatchOracle); ok && parallelism > 1 {
+		bo.BatchCost(pairs, out, parallelism)
+		return
+	}
+	for i, p := range pairs {
+		out[i] = o.Cost(p.Q, p.J)
+	}
+}
+
 // MatrixOracle replays a precomputed cost matrix, charging synthetic calls.
 type MatrixOracle struct {
 	M     *workload.CostMatrix
@@ -58,6 +89,16 @@ func (o *MatrixOracle) K() int { return o.M.K() }
 
 // Calls implements Oracle.
 func (o *MatrixOracle) Calls() int64 { return o.calls.Load() }
+
+// BatchCost implements BatchOracle. Matrix lookups are far cheaper than
+// pool dispatch, so the batch is served inline; the synthetic call charge
+// still matches one call per pair.
+func (o *MatrixOracle) BatchCost(pairs []Pair, out []float64, parallelism int) {
+	for i, p := range pairs {
+		out[i] = o.M.Costs[p.Q][p.J]
+	}
+	o.calls.Add(int64(len(pairs)))
+}
 
 // ResetCalls zeroes the counter.
 func (o *MatrixOracle) ResetCalls() { o.calls.Store(0) }
@@ -88,3 +129,12 @@ func (o *LiveOracle) K() int { return len(o.Configs) }
 
 // Calls implements Oracle.
 func (o *LiveOracle) Calls() int64 { return o.Opt.Calls() }
+
+// BatchCost implements BatchOracle over the optimizer's batch pool.
+func (o *LiveOracle) BatchCost(pairs []Pair, out []float64, parallelism int) {
+	reqs := make([]optimizer.Request, len(pairs))
+	for i, p := range pairs {
+		reqs[i] = optimizer.Request{Analysis: o.Workload.Queries[p.Q].Analysis, Config: o.Configs[p.J]}
+	}
+	o.Opt.BatchInto(reqs, out, parallelism)
+}

@@ -95,8 +95,14 @@ type (
 	SampledTunerOptions = tuner.SampledOptions
 	// SampledTunerResult reports a sampling-based tuning run.
 	SampledTunerResult = tuner.SampledResult
-	// CachedOptimizer memoizes what-if calls.
+	// CachedOptimizer memoizes what-if calls in a sharded concurrent memo
+	// table safe for batch-pool workers.
 	CachedOptimizer = optimizer.Cached
+	// BatchRequest is one (statement, configuration) item of a batched
+	// what-if evaluation (Optimizer.Batch / CachedOptimizer.Batch): the
+	// batch fans out over a bounded worker pool and returns costs in
+	// request order, charging one optimizer call per request.
+	BatchRequest = optimizer.Request
 	// Tracer emits structured JSONL selection events (Options.Tracer).
 	Tracer = obs.Tracer
 	// MetricsRegistry collects counters, gauges and histograms
