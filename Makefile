@@ -2,20 +2,27 @@
 
 GO ?= go
 
-.PHONY: all check build test test-race vet fmt bench bench-parallel experiments experiments-paper cover clean
+.PHONY: all check build test test-race vet lint fmt fuzz bench bench-parallel experiments experiments-paper cover clean
 
-all: build vet test
+all: build vet lint test
 
-# Full pre-commit gate: build, vet, and the race detector over every
-# package — the batch pool, sharded cache and instrumentation are all
-# concurrent, so plain `go test` alone is not a sufficient gate.
-check: build vet test-race
+# Full pre-commit gate: build, vet, the determinism/concurrency lint
+# suite, and the race detector over every package — the batch pool,
+# sharded cache and instrumentation are all concurrent, so plain
+# `go test` alone is not a sufficient gate.
+check: build vet lint test-race
 
 build:
 	$(GO) build ./...
 
 vet:
 	$(GO) vet ./...
+
+# Custom go/analysis-style suite (norandglobal, nomaprange, nowallclock,
+# lockcheck, tracenames): machine-enforces the seed-reproducibility and
+# locking invariants behind Pr(CS) ≥ α and bit-identical parallelism.
+lint:
+	$(GO) run ./cmd/physdeslint ./...
 
 fmt:
 	gofmt -l -w .
@@ -25,6 +32,13 @@ test:
 
 test-race:
 	$(GO) test -race ./...
+
+# Coverage-guided fuzzing of the SQL parser (seed corpus: TPC-D and CRM
+# templates). FUZZTIME bounds the run; the seeds always run under
+# plain `make test`.
+FUZZTIME ?= 30s
+fuzz:
+	$(GO) test -run='^$$' -fuzz=FuzzParseStatement -fuzztime=$(FUZZTIME) ./internal/sqlparse
 
 bench:
 	$(GO) test -bench=. -benchmem ./...

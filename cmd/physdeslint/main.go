@@ -1,0 +1,107 @@
+// Command physdeslint is the repository's determinism & concurrency lint
+// suite: a multichecker over the custom analyzers in internal/analysis.
+// It loads and type-checks every package of the enclosing module using
+// only the standard library, runs each analyzer where it applies, and
+// exits non-zero if any invariant is violated. `make check` gates on it.
+//
+// Usage:
+//
+//	physdeslint [-list] [-design FILE] [patterns...]
+//
+// With no patterns (or "./...") every module package is checked;
+// otherwise packages whose import path contains any pattern as a
+// substring are checked.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"physdes/internal/analysis"
+	"physdes/internal/analysis/lockcheck"
+	"physdes/internal/analysis/nomaprange"
+	"physdes/internal/analysis/norandglobal"
+	"physdes/internal/analysis/nowallclock"
+	"physdes/internal/analysis/tracenames"
+)
+
+// Suite is every analyzer the gate runs, in diagnostic-prefix order.
+var Suite = []*analysis.Analyzer{
+	lockcheck.Analyzer,
+	nomaprange.Analyzer,
+	norandglobal.Analyzer,
+	nowallclock.Analyzer,
+	tracenames.Analyzer,
+}
+
+func main() {
+	list := flag.Bool("list", false, "list analyzers and exit")
+	flag.Parse()
+	if *list {
+		for _, a := range Suite {
+			fmt.Printf("%-14s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+	cwd, err := os.Getwd()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "physdeslint:", err)
+		os.Exit(2)
+	}
+	n, err := Run(os.Stdout, cwd, flag.Args())
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "physdeslint:", err)
+		os.Exit(2)
+	}
+	if n > 0 {
+		fmt.Fprintf(os.Stderr, "physdeslint: %d violation(s)\n", n)
+		os.Exit(1)
+	}
+}
+
+// Run executes the suite over the module enclosing dir, printing
+// diagnostics to w, and returns how many were found. Patterns filter
+// packages by import-path substring; empty or "./..." means all.
+func Run(w io.Writer, dir string, patterns []string) (int, error) {
+	root, err := analysis.FindModuleRoot(dir)
+	if err != nil {
+		return 0, err
+	}
+	loader, err := analysis.NewLoader(root)
+	if err != nil {
+		return 0, err
+	}
+	pkgs, err := loader.LoadAll()
+	if err != nil {
+		return 0, err
+	}
+	var keep []string
+	for _, p := range patterns {
+		if p != "./..." && p != "all" {
+			keep = append(keep, strings.TrimPrefix(p, "./"))
+		}
+	}
+	if len(keep) > 0 {
+		filtered := pkgs[:0]
+		for _, pkg := range pkgs {
+			for _, p := range keep {
+				if strings.Contains(pkg.Path, p) {
+					filtered = append(filtered, pkg)
+					break
+				}
+			}
+		}
+		pkgs = filtered
+	}
+	diags, err := analysis.RunAnalyzers(pkgs, Suite, loader.Fset, root)
+	if err != nil {
+		return 0, err
+	}
+	for _, d := range diags {
+		fmt.Fprintln(w, d)
+	}
+	return len(diags), nil
+}

@@ -1,0 +1,79 @@
+package analysis
+
+import (
+	"bytes"
+	"go/ast"
+	"go/printer"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// IsLibraryPackage reports whether pkgPath is a library package — i.e.
+// not a main binary under cmd/ or examples/. Binaries may read wall
+// clocks and seed RNGs from flags; libraries must not.
+func IsLibraryPackage(pkgPath string) bool {
+	for _, seg := range strings.Split(pkgPath, "/") {
+		if seg == "cmd" || seg == "examples" {
+			return false
+		}
+	}
+	return true
+}
+
+// HasPathSuffix reports whether pkgPath ends with the given slash-
+// separated suffix on a segment boundary, so "internal/core" matches
+// "physdes/internal/core" but not "physdes/internal/score".
+func HasPathSuffix(pkgPath, suffix string) bool {
+	return pkgPath == suffix || strings.HasSuffix(pkgPath, "/"+suffix)
+}
+
+// ExprString renders an expression as source text, for diagnostics and
+// for matching a Lock receiver against its Unlock.
+func ExprString(fset *token.FileSet, e ast.Expr) string {
+	var buf bytes.Buffer
+	if err := printer.Fprint(&buf, fset, e); err != nil {
+		return "<expr>"
+	}
+	return buf.String()
+}
+
+// NamedReceiver resolves the named type of a method call's receiver
+// expression, unwrapping one level of pointer and any alias.
+func NamedReceiver(info *types.Info, sel *ast.SelectorExpr) *types.Named {
+	tv, ok := info.Types[sel.X]
+	if !ok || tv.Type == nil {
+		return nil
+	}
+	t := tv.Type
+	if p, ok := t.Underlying().(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	if n, ok := types.Unalias(t).(*types.Named); ok {
+		return n
+	}
+	return nil
+}
+
+// CallsWallClock reports whether the expression tree contains a call to
+// time.Now, time.Since or time.Until.
+func CallsWallClock(info *types.Info, e ast.Expr) bool {
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		for _, name := range []string{"Now", "Since", "Until"} {
+			if IsPkgCall(info, call, "time", name) {
+				found = true
+				return false
+			}
+		}
+		return true
+	})
+	return found
+}

@@ -1,0 +1,302 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Package is one loaded, type-checked module package.
+type Package struct {
+	Path  string // import path, e.g. physdes/internal/sampling
+	Dir   string // absolute directory
+	Files []*ast.File
+	Types *types.Package
+	Info  *types.Info
+}
+
+// Loader parses and type-checks every package of one Go module using
+// only the standard library: module packages are checked in dependency
+// order, standard-library imports resolve through go/importer's source
+// importer. Test files (_test.go) are excluded — the analyzers guard
+// library invariants, and tests legitimately use fixed seeds and wall
+// clocks.
+type Loader struct {
+	ModuleRoot string
+	ModulePath string
+
+	Fset *token.FileSet
+
+	pkgs map[string]*Package // by import path, filled in load order
+	std  types.ImporterFrom
+}
+
+// FindModuleRoot walks up from dir to the nearest directory containing
+// go.mod.
+func FindModuleRoot(dir string) (string, error) {
+	dir, err := filepath.Abs(dir)
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", fmt.Errorf("no go.mod found above %s", dir)
+		}
+		dir = parent
+	}
+}
+
+// NewLoader prepares a loader rooted at the module directory root.
+func NewLoader(root string) (*Loader, error) {
+	data, err := os.ReadFile(filepath.Join(root, "go.mod"))
+	if err != nil {
+		return nil, err
+	}
+	modPath := ""
+	for _, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if rest, ok := strings.CutPrefix(line, "module "); ok {
+			modPath = strings.TrimSpace(rest)
+			if unq, err := strconv.Unquote(modPath); err == nil {
+				modPath = unq
+			}
+			break
+		}
+	}
+	if modPath == "" {
+		return nil, fmt.Errorf("%s/go.mod: no module directive", root)
+	}
+	fset := token.NewFileSet()
+	l := &Loader{
+		ModuleRoot: root,
+		ModulePath: modPath,
+		Fset:       fset,
+		pkgs:       map[string]*Package{},
+	}
+	std, ok := importer.ForCompiler(fset, "source", nil).(types.ImporterFrom)
+	if !ok {
+		return nil, fmt.Errorf("source importer does not implement ImporterFrom")
+	}
+	l.std = std
+	return l, nil
+}
+
+// parsedPkg is a package after parsing, before type checking.
+type parsedPkg struct {
+	path    string
+	dir     string
+	files   []*ast.File
+	imports []string // module-internal imports only
+}
+
+// LoadAll parses and type-checks every package under the module root,
+// returning them in a deterministic (import-path) order.
+func (l *Loader) LoadAll() ([]*Package, error) {
+	parsed := map[string]*parsedPkg{}
+	err := filepath.WalkDir(l.ModuleRoot, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() {
+			return nil
+		}
+		name := d.Name()
+		if path != l.ModuleRoot && (strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") || name == "testdata" || name == "vendor") {
+			return filepath.SkipDir
+		}
+		pp, err := l.parseDir(path)
+		if err != nil {
+			return err
+		}
+		if pp != nil {
+			parsed[pp.path] = pp
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	order := make([]string, 0, len(parsed))
+	for p := range parsed {
+		order = append(order, p)
+	}
+	sort.Strings(order)
+
+	// Type-check in dependency order via DFS over module-internal
+	// imports; sorted roots keep the result order deterministic.
+	state := map[string]int{} // 0 unvisited, 1 in progress, 2 done
+	var out []*Package
+	var visit func(path string) error
+	visit = func(path string) error {
+		switch state[path] {
+		case 1:
+			return fmt.Errorf("import cycle through %s", path)
+		case 2:
+			return nil
+		}
+		state[path] = 1
+		pp := parsed[path]
+		for _, imp := range pp.imports {
+			if _, ok := parsed[imp]; ok {
+				if err := visit(imp); err != nil {
+					return err
+				}
+			}
+		}
+		pkg, err := l.check(pp)
+		if err != nil {
+			return err
+		}
+		l.pkgs[path] = pkg
+		out = append(out, pkg)
+		state[path] = 2
+		return nil
+	}
+	for _, p := range order {
+		if err := visit(p); err != nil {
+			return nil, err
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Path < out[j].Path })
+	return out, nil
+}
+
+// parseDir parses the non-test Go files of one directory, returning nil
+// if the directory holds no buildable Go files.
+func (l *Loader) parseDir(dir string) (*parsedPkg, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	rel, err := filepath.Rel(l.ModuleRoot, dir)
+	if err != nil {
+		return nil, err
+	}
+	impPath := l.ModulePath
+	if rel != "." {
+		impPath = l.ModulePath + "/" + filepath.ToSlash(rel)
+	}
+	pp := &parsedPkg{path: impPath, dir: dir}
+	seen := map[string]bool{}
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") || strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") {
+			continue
+		}
+		f, err := parser.ParseFile(l.Fset, filepath.Join(dir, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		pp.files = append(pp.files, f)
+		for _, imp := range f.Imports {
+			p, err := strconv.Unquote(imp.Path.Value)
+			if err != nil {
+				continue
+			}
+			if (p == l.ModulePath || strings.HasPrefix(p, l.ModulePath+"/")) && !seen[p] {
+				seen[p] = true
+				pp.imports = append(pp.imports, p)
+			}
+		}
+	}
+	if len(pp.files) == 0 {
+		return nil, nil
+	}
+	sort.Strings(pp.imports)
+	return pp, nil
+}
+
+// Import resolves an import path for the type checker: module packages
+// from the loaded set, everything else from GOROOT source.
+func (l *Loader) Import(path string) (*types.Package, error) {
+	return l.ImportFrom(path, l.ModuleRoot, 0)
+}
+
+// ImportFrom implements types.ImporterFrom.
+func (l *Loader) ImportFrom(path, dir string, mode types.ImportMode) (*types.Package, error) {
+	if pkg, ok := l.pkgs[path]; ok {
+		return pkg.Types, nil
+	}
+	if path == l.ModulePath || strings.HasPrefix(path, l.ModulePath+"/") {
+		return nil, fmt.Errorf("module package %s not yet loaded (import cycle?)", path)
+	}
+	return l.std.ImportFrom(path, dir, mode)
+}
+
+// check type-checks one parsed package.
+func (l *Loader) check(pp *parsedPkg) (*Package, error) {
+	info := NewInfo()
+	conf := types.Config{
+		Importer: l,
+		Error:    func(err error) {}, // collect via returned error
+	}
+	tpkg, err := conf.Check(pp.path, l.Fset, pp.files, info)
+	if err != nil {
+		return nil, fmt.Errorf("type-checking %s: %w", pp.path, err)
+	}
+	return &Package{Path: pp.path, Dir: pp.dir, Files: pp.files, Types: tpkg, Info: info}, nil
+}
+
+// NewInfo allocates a types.Info with every map analyzers consume.
+func NewInfo() *types.Info {
+	return &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Implicits:  map[ast.Node]types.Object{},
+		Scopes:     map[ast.Node]*types.Scope{},
+	}
+}
+
+// RunAnalyzers applies each analyzer to each package (respecting
+// AppliesTo) and returns all diagnostics in deterministic order.
+func RunAnalyzers(pkgs []*Package, analyzers []*Analyzer, fset *token.FileSet, moduleRoot string) ([]Diagnostic, error) {
+	var all []Diagnostic
+	for _, pkg := range pkgs {
+		for _, a := range analyzers {
+			if a.AppliesTo != nil && !a.AppliesTo(pkg.Path) {
+				continue
+			}
+			pass := &Pass{
+				Analyzer:   a,
+				Fset:       fset,
+				Files:      pkg.Files,
+				Pkg:        pkg.Types,
+				Info:       pkg.Info,
+				ModuleRoot: moduleRoot,
+			}
+			if err := a.Run(pass); err != nil {
+				return nil, fmt.Errorf("%s on %s: %w", a.Name, pkg.Path, err)
+			}
+			all = append(all, pass.Diagnostics()...)
+		}
+	}
+	sort.Slice(all, func(i, j int) bool {
+		a, b := all[i], all[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return all, nil
+}

@@ -1,0 +1,12 @@
+package lockcheck_test
+
+import (
+	"testing"
+
+	"physdes/internal/analysis/analysistest"
+	"physdes/internal/analysis/lockcheck"
+)
+
+func TestLockCheck(t *testing.T) {
+	analysistest.Run(t, lockcheck.Analyzer, "testdata/src/a")
+}

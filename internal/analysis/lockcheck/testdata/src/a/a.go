@@ -1,0 +1,129 @@
+package a
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+type S struct {
+	mu sync.Mutex
+	n  int
+}
+
+// good is the canonical shape: Lock immediately deferred-unlocked.
+func (s *S) good() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.n
+}
+
+// tight hand-written critical sections are tolerated: explicit Unlock in
+// the same statement list, nothing that can skip it.
+func (s *S) tight() {
+	s.mu.Lock()
+	s.n++
+	s.mu.Unlock()
+}
+
+func (s *S) missing() {
+	s.mu.Lock() // want "not followed by"
+	s.n++
+}
+
+func (s *S) earlyReturn() int {
+	s.mu.Lock()
+	if s.n > 0 {
+		return s.n // want "return inside the critical section"
+	}
+	s.mu.Unlock()
+	return 0
+}
+
+// funcLitReturn: returns inside a function literal leave a different
+// frame and must not count as escaping the critical section.
+func (s *S) funcLitReturn() {
+	s.mu.Lock()
+	f := func() int { return 1 }
+	_ = f()
+	s.mu.Unlock()
+}
+
+type R struct {
+	mu sync.RWMutex
+	m  map[int]int
+}
+
+func (r *R) read(k int) int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.m[k]
+}
+
+// wrongPair: an RLock must pair with RUnlock, not Unlock.
+func (r *R) wrongPair(k int) int {
+	r.mu.RLock() // want "not followed by"
+	defer r.mu.Unlock()
+	return r.m[k]
+}
+
+// embedded locks promote their methods; the canonical shape still passes.
+type E struct {
+	sync.Mutex
+	n int
+}
+
+func (e *E) inc() {
+	e.Lock()
+	defer e.Unlock()
+	e.n++
+}
+
+var gmu sync.Mutex
+
+// acquire is a deliberate cross-function protocol, suppressed with a
+// justified annotation.
+func acquire() {
+	//physdes:manualunlock released by release() after the handoff completes
+	gmu.Lock()
+}
+
+func release() {
+	gmu.Unlock()
+}
+
+func acquireNoReason() {
+	//physdes:manualunlock
+	gmu.Lock() // want "needs a justification"
+}
+
+// ---- lock-by-value checks ----
+
+func byValue(s S) int { // want "parameter of byValue is passed by value and contains sync.Mutex"
+	return s.n
+}
+
+func (s S) valueRecv() int { // want "receiver of valueRecv is passed by value and contains sync.Mutex"
+	return s.n
+}
+
+func byPointer(s *S) int {
+	return s.n
+}
+
+type C struct{ v atomic.Int64 }
+
+func consume(c C) int64 { // want "contains sync/atomic.Int64"
+	return c.v.Load()
+}
+
+type nested struct{ inner [2]S }
+
+func deep(n nested) { // want "contains sync.Mutex"
+	_ = n
+}
+
+// pointers and slices do not copy the lock state they reference.
+func viaSlice(xs []S, c *C) {
+	_ = xs
+	_ = c
+}

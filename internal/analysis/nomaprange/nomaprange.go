@@ -1,0 +1,82 @@
+// Package nomaprange flags range-over-map loops in result-affecting
+// packages.
+//
+// Go randomizes map iteration order per loop, so a map range feeding a
+// statistical accumulator (even a float64 sum — float addition is not
+// associative) or choosing "the first" of anything produces bit-different
+// results across runs of the same seed, voiding both the Pr(CS) ≥ α
+// guarantee's reproducibility and the batch layer's serial/parallel
+// bit-identity contract. Loops whose bodies are genuinely
+// order-insensitive (pure per-key writes, integer counters, max over a
+// total order with deterministic tie-breaks) may be suppressed with a
+// justified annotation:
+//
+//	//physdes:orderinsensitive per-key delete only, no accumulation
+//	for k := range m { ... }
+package nomaprange
+
+import (
+	"go/ast"
+	"go/types"
+
+	"physdes/internal/analysis"
+)
+
+// Marker is the suppression annotation suffix: //physdes:orderinsensitive.
+const Marker = "orderinsensitive"
+
+// resultAffecting lists the package-path suffixes whose outputs are part
+// of the determinism contract. Other packages may range maps freely
+// (e.g. obs snapshots sort before writing).
+var resultAffecting = []string{
+	"internal/sampling",
+	"internal/core",
+	"internal/bounds",
+	"internal/tuner",
+	"internal/optimizer",
+}
+
+var Analyzer = &analysis.Analyzer{
+	Name: "nomaprange",
+	Doc:  "flag range over maps in result-affecting packages unless annotated //physdes:orderinsensitive",
+	AppliesTo: func(pkgPath string) bool {
+		for _, s := range resultAffecting {
+			if analysis.HasPathSuffix(pkgPath, s) {
+				return true
+			}
+		}
+		return false
+	},
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, file := range pass.Files {
+		ann := analysis.Annotations(pass.Fset, file, Marker)
+		ast.Inspect(file, func(n ast.Node) bool {
+			rs, ok := n.(*ast.RangeStmt)
+			if !ok {
+				return true
+			}
+			tv, ok := pass.Info.Types[rs.X]
+			if !ok || tv.Type == nil {
+				return true
+			}
+			if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
+				return true
+			}
+			if reason, ok := analysis.Annotated(ann, pass.Fset, rs.Pos()); ok {
+				if reason == "" {
+					pass.Reportf(rs.Pos(),
+						"//physdes:%s needs a justification explaining why this loop body is order-insensitive", Marker)
+				}
+				return true
+			}
+			pass.Reportf(rs.Pos(),
+				"range over map %s: iteration order is nondeterministic and this package is result-affecting; iterate sorted keys, or annotate the loop //physdes:%s <why>",
+				types.ExprString(rs.X), Marker)
+			return true
+		})
+	}
+	return nil
+}

@@ -1,0 +1,29 @@
+package nomaprange_test
+
+import (
+	"testing"
+
+	"physdes/internal/analysis/analysistest"
+	"physdes/internal/analysis/nomaprange"
+)
+
+func TestNoMapRange(t *testing.T) {
+	analysistest.Run(t, nomaprange.Analyzer, "testdata/src/a")
+}
+
+func TestAppliesTo(t *testing.T) {
+	for path, want := range map[string]bool{
+		"physdes/internal/sampling":  true,
+		"physdes/internal/core":      true,
+		"physdes/internal/bounds":    true,
+		"physdes/internal/tuner":     true,
+		"physdes/internal/optimizer": true,
+		"physdes/internal/obs":       false, // snapshots sort before writing
+		"physdes/internal/workload":  false,
+		"physdes/internal/score":     false, // suffix must respect segment boundaries
+	} {
+		if got := nomaprange.Analyzer.AppliesTo(path); got != want {
+			t.Errorf("AppliesTo(%q) = %v, want %v", path, got, want)
+		}
+	}
+}

@@ -1,0 +1,88 @@
+// Package norandglobal forbids the global math/rand generator and
+// non-injected seeds in library packages.
+//
+// Every random decision in the repository must be reproducible from
+// core.Options.Seed (the paper's guarantees are statements about a seeded
+// sampling process). The global math/rand functions draw from a shared,
+// racily-advanced source, and a constant or wall-clock seed buried in a
+// library silently detaches results from the injected seed. Binaries
+// (cmd/, examples/) may seed from flags; libraries must take a source or
+// a seed as an argument.
+package norandglobal
+
+import (
+	"go/ast"
+	"go/types"
+
+	"physdes/internal/analysis"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name:      "norandglobal",
+	Doc:       "forbid global math/rand functions and non-injected RNG seeds in library packages",
+	AppliesTo: analysis.IsLibraryPackage,
+	Run:       run,
+}
+
+// constructors are the rand functions that take an explicit source or
+// seed; everything else at package level uses the shared global source.
+var constructors = map[string]bool{
+	"New":        true,
+	"NewSource":  true,
+	"NewPCG":     true,
+	"NewChaCha8": true,
+	"NewZipf":    true,
+}
+
+// seeded are the constructors whose arguments are the seed itself, so a
+// literal or wall-clock argument means the seed was not injected.
+var seeded = map[string]bool{
+	"NewSource":  true,
+	"NewPCG":     true,
+	"NewChaCha8": true,
+}
+
+func run(pass *analysis.Pass) error {
+	pass.Preorder(func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		pn := analysis.PkgQualifier(pass.Info, sel)
+		if pn == nil {
+			return true
+		}
+		path := pn.Imported().Path()
+		if path != "math/rand" && path != "math/rand/v2" {
+			return true
+		}
+		// Only package-level functions matter; rand.Zipf(...) as a type
+		// conversion or method calls on an injected *rand.Rand are fine.
+		if _, isFunc := pass.Info.Uses[sel.Sel].(*types.Func); !isFunc {
+			return true
+		}
+		name := sel.Sel.Name
+		if !constructors[name] {
+			pass.Reportf(call.Pos(),
+				"call to global %s.%s: the shared source is not seed-reproducible; inject a *rand.Rand (or stats.RNG) through Options", path, name)
+			return true
+		}
+		if seeded[name] {
+			for _, arg := range call.Args {
+				if lit, ok := arg.(*ast.BasicLit); ok {
+					pass.Reportf(call.Pos(),
+						"%s.%s with constant seed %s: seeds must be injected via Options, not hard-coded in a library", path, name, lit.Value)
+				} else if analysis.CallsWallClock(pass.Info, arg) {
+					pass.Reportf(call.Pos(),
+						"%s.%s seeded from the wall clock: results would differ run to run; inject the seed via Options", path, name)
+				}
+			}
+		}
+		return true
+	})
+	return nil
+}

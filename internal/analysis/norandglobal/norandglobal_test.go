@@ -1,0 +1,24 @@
+package norandglobal_test
+
+import (
+	"testing"
+
+	"physdes/internal/analysis/analysistest"
+	"physdes/internal/analysis/norandglobal"
+)
+
+func TestNoRandGlobal(t *testing.T) {
+	analysistest.Run(t, norandglobal.Analyzer, "testdata/src/a")
+}
+
+func TestAppliesTo(t *testing.T) {
+	for path, want := range map[string]bool{
+		"physdes/internal/sampling":   true,
+		"physdes/cmd/benchrunner":     false,
+		"physdes/examples/quickstart": false,
+	} {
+		if got := norandglobal.Analyzer.AppliesTo(path); got != want {
+			t.Errorf("AppliesTo(%q) = %v, want %v", path, got, want)
+		}
+	}
+}

@@ -1,0 +1,49 @@
+// Package nowallclock forbids wall-clock reads outside the observability
+// layer and binaries.
+//
+// The comparison primitive's outputs must be a pure function of
+// (workload, configuration set, Options) — a time.Now() feeding a cost
+// estimate, a sampling decision, or a cache policy makes runs
+// unreproducible in a way no test reliably catches. Clock reads are
+// confined to internal/obs (which exists to timestamp and time things)
+// and to main packages; libraries that need to *time* an operation for
+// metrics use obs.Stopwatch, keeping the clock behind the instrumented
+// boundary.
+package nowallclock
+
+import (
+	"go/ast"
+
+	"physdes/internal/analysis"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "nowallclock",
+	Doc:  "forbid time.Now/Since/Until outside internal/obs and main binaries",
+	AppliesTo: func(pkgPath string) bool {
+		if !analysis.IsLibraryPackage(pkgPath) {
+			return false
+		}
+		return !analysis.HasPathSuffix(pkgPath, "internal/obs")
+	},
+	Run: run,
+}
+
+var clockFuncs = []string{"Now", "Since", "Until"}
+
+func run(pass *analysis.Pass) error {
+	pass.Preorder(func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		for _, name := range clockFuncs {
+			if analysis.IsPkgCall(pass.Info, call, "time", name) {
+				pass.Reportf(call.Pos(),
+					"wall clock read time.%s in a library package: wall-clock must never influence estimates; time operations with obs.Stopwatch and keep clock reads in internal/obs or cmd binaries", name)
+			}
+		}
+		return true
+	})
+	return nil
+}

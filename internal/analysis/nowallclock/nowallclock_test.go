@@ -1,0 +1,25 @@
+package nowallclock_test
+
+import (
+	"testing"
+
+	"physdes/internal/analysis/analysistest"
+	"physdes/internal/analysis/nowallclock"
+)
+
+func TestNoWallClock(t *testing.T) {
+	analysistest.Run(t, nowallclock.Analyzer, "testdata/src/a")
+}
+
+func TestAppliesTo(t *testing.T) {
+	for path, want := range map[string]bool{
+		"physdes/internal/bounds": true,
+		"physdes/internal/obs":    false, // the clock belongs here
+		"physdes/cmd/physdes":     false, // binaries may read clocks
+		"physdes":                 true,
+	} {
+		if got := nowallclock.Analyzer.AppliesTo(path); got != want {
+			t.Errorf("AppliesTo(%q) = %v, want %v", path, got, want)
+		}
+	}
+}

@@ -1,0 +1,52 @@
+package a
+
+// The fixture mirrors the obs API shapes the analyzer keys on: method
+// names Emit/Begin on a type named Tracer, Counter/Gauge/Histogram on a
+// type named Registry, and the WithLabel wrapper.
+
+type KV struct {
+	Key   string
+	Value any
+}
+
+type Span struct{}
+
+type Tracer struct{}
+
+func (t *Tracer) Emit(ev string, kvs ...KV)       {}
+func (t *Tracer) Begin(ev string, kvs ...KV) Span { return Span{} }
+
+type Counter struct{}
+type Gauge struct{}
+type Histogram struct{}
+
+type Registry struct{}
+
+func (r *Registry) Counter(name string) *Counter     { return nil }
+func (r *Registry) Gauge(name string) *Gauge         { return nil }
+func (r *Registry) Histogram(name string) *Histogram { return nil }
+
+func WithLabel(name, key, value string) string { return name }
+
+func use(t *Tracer, r *Registry) {
+	t.Emit("round")
+	t.Emit("bogus") // want "tracer event .bogus. does not appear"
+	t.Begin("select")
+	t.Begin("mystery") // want "mystery.begin" "mystery.end"
+	r.Counter("optimizer_calls_total")
+	r.Counter("nope_total") // want "nope_total"
+	r.Histogram(WithLabel("bounds_sigma_max_dp_seconds", "rho", "0.5"))
+	r.Gauge(WithLabel("bad_gauge", "a", "b")) // want "bad_gauge"
+	name := "dynamic"
+	t.Emit(name) // want "must be a string literal"
+}
+
+// other types with colliding method names are ignored.
+type logger struct{}
+
+func (logger) Emit(ev string) {}
+
+func unrelated() {
+	var l logger
+	l.Emit("whatever")
+}

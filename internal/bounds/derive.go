@@ -1,6 +1,8 @@
 package bounds
 
 import (
+	"slices"
+
 	"physdes/internal/catalog"
 	"physdes/internal/optimizer"
 	"physdes/internal/par"
@@ -137,9 +139,11 @@ func (d *Deriver) WorkloadIntervals(w *workload.Workload) []Interval {
 	// tend to work well").
 	bandLo, bandHi := optimizer.CostBand()
 	tids := make([]sqlparse.TemplateID, 0, len(ext))
+	//physdes:orderinsensitive pure key collection; sorted before any use
 	for tid := range ext {
 		tids = append(tids, tid)
 	}
+	slices.Sort(tids)
 	dmlIvs := make([]Interval, len(tids))
 	par.For(len(tids), d.par, func(i int) {
 		e := ext[tids[i]]

@@ -92,7 +92,7 @@ type SigmaMaxResult struct {
 // The returned slack θ = (2/n)·Σ(ρ·v_i^ρ + ρ²/4) uses the rounded upper
 // endpoints, the conservative choice.
 func SigmaMaxDP(ivs []Interval, rho float64) (SigmaMaxResult, error) {
-	began := time.Now()
+	sw := obs.NewStopwatch()
 	n := len(ivs)
 	if n == 0 {
 		return SigmaMaxResult{}, fmt.Errorf("bounds: no intervals")
@@ -177,7 +177,7 @@ func SigmaMaxDP(ivs []Interval, rho float64) (SigmaMaxResult, error) {
 	if best < 0 {
 		best = 0
 	}
-	observeDP(rho, int(total+1), time.Since(began))
+	observeDP(rho, int(total+1), sw.Elapsed())
 	return SigmaMaxResult{
 		Sigma2:     best,
 		Theta:      theta,

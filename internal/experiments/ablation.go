@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"physdes/internal/bounds"
+	"physdes/internal/obs"
 	"physdes/internal/sampling"
 	"physdes/internal/stats"
 	"physdes/internal/workload"
@@ -153,12 +154,12 @@ func RhoSweep(p Params) ([]RhoRow, error) {
 	ivs := SigmaIntervals(n, p.Seed+51)
 	var rows []RhoRow
 	for _, rho := range []float64{20, 10, 5, 2, 1, 0.5, 0.2} {
-		start := time.Now()
+		sw := obs.NewStopwatch()
 		res, err := bounds.SigmaMaxDP(ivs, rho)
 		if err != nil {
 			return nil, err
 		}
-		rows = append(rows, RhoRow{Rho: rho, Sigma2: res.Sigma2, Theta: res.Theta, Elapsed: time.Since(start)})
+		rows = append(rows, RhoRow{Rho: rho, Sigma2: res.Sigma2, Theta: res.Theta, Elapsed: sw.Elapsed()})
 	}
 	return rows, nil
 }

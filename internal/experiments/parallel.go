@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"physdes/internal/core"
+	"physdes/internal/obs"
 	"physdes/internal/physical"
 	"physdes/internal/sampling"
 	"physdes/internal/stats"
@@ -79,12 +80,12 @@ func ParallelSpeedup(s *Scenario, workers []int, repeats int, p Params) ([]Paral
 		var elapsed time.Duration
 		for r := 0; r < repeats; r++ {
 			o := parallelOptions(p.Seed+31, wk)
-			start := time.Now()
+			sw := obs.NewStopwatch()
 			sel, err := core.Select(s.Opt, s.W, configs, o)
 			if err != nil {
 				return nil, fmt.Errorf("experiments: parallel (workers=%d): %w", wk, err)
 			}
-			elapsed += time.Since(start)
+			elapsed += sw.Elapsed()
 			calls += sel.OptimizerCalls
 			if wi == 0 && r == 0 {
 				baselineBest, baselinePrCS = sel.BestIndex, sel.PrCS

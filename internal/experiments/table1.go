@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"physdes/internal/bounds"
+	"physdes/internal/obs"
 	"physdes/internal/stats"
 )
 
@@ -46,7 +47,7 @@ func Table1(p Params) ([]SigmaRow, error) {
 	ivs := SigmaIntervals(p.SigmaN, p.Seed+3)
 	var rows []SigmaRow
 	for _, rho := range []float64{10, 1, 0.1} {
-		start := time.Now()
+		sw := obs.NewStopwatch()
 		res, err := bounds.SigmaMaxDP(ivs, rho)
 		if err != nil {
 			return nil, err
@@ -54,7 +55,7 @@ func Table1(p Params) ([]SigmaRow, error) {
 		rows = append(rows, SigmaRow{
 			N:       p.SigmaN,
 			Rho:     rho,
-			Elapsed: time.Since(start),
+			Elapsed: sw.Elapsed(),
 			Sigma2:  res.Sigma2,
 			Theta:   res.Theta,
 			Cells:   res.Cells,

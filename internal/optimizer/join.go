@@ -145,6 +145,7 @@ func (o *Optimizer) buildRelations(a *sqlparse.Analysis, cfg *physical.Configura
 	}
 
 	tables := make([]string, 0, len(remaining))
+	//physdes:orderinsensitive pure key collection; sorted immediately below
 	for t := range remaining {
 		tables = append(tables, t)
 	}

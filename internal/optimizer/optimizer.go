@@ -2,7 +2,6 @@ package optimizer
 
 import (
 	"sync/atomic"
-	"time"
 
 	"physdes/internal/physical"
 	"physdes/internal/sqlparse"
@@ -106,9 +105,9 @@ func (o *Optimizer) OptimizeOverhead(a *sqlparse.Analysis) float64 {
 func (o *Optimizer) Cost(a *sqlparse.Analysis, cfg *physical.Configuration) float64 {
 	o.calls.Add(1)
 	if m := o.metrics.Load(); m != nil {
-		start := time.Now()
+		sw := obs.NewStopwatch()
 		c := o.cost(a, cfg)
-		m.latency.Observe(time.Since(start).Seconds())
+		m.latency.Observe(sw.Elapsed().Seconds())
 		m.calls.Inc()
 		return c
 	}

@@ -1,7 +1,7 @@
 package sqlparse
 
 import (
-	"fmt"
+	"strconv"
 	"strings"
 )
 
@@ -73,7 +73,9 @@ func (l *Literal) render(b *strings.Builder, template bool) {
 	}
 	switch l.Kind {
 	case LitNumber:
-		fmt.Fprintf(b, "%g", l.Num)
+		// Plain decimal with the fewest digits that round-trip: the
+		// lexer has no exponent form, so %g's "1e+06" would not reparse.
+		b.WriteString(strconv.FormatFloat(l.Num, 'f', -1, 64))
 	case LitString:
 		b.WriteString(l.Str)
 	case LitNull:
