@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all check build test test-race vet lint fmt fuzz bench bench-parallel experiments experiments-paper cover clean
+.PHONY: all check build test test-race vet lint fmt fuzz bench bench-parallel bench-strat experiments experiments-paper cover clean
 
 all: build vet lint test
 
@@ -46,6 +46,11 @@ bench:
 # Speedup curve of the batched what-if layer (BENCH_parallel.json).
 bench-parallel:
 	$(GO) run ./cmd/benchrunner -exp parallel -json BENCH_parallel.json
+
+# Split-search perf trajectory: incremental Algorithm 2 vs the naive
+# reference (BENCH_strat.json).
+bench-strat:
+	$(GO) run ./cmd/benchrunner -exp strat -json BENCH_strat.json
 
 # Regenerate every table and figure at quick scale (minutes).
 experiments:

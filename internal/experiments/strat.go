@@ -1,0 +1,34 @@
+package experiments
+
+import (
+	"encoding/json"
+	"os"
+
+	"physdes/internal/sampling"
+)
+
+// SplitSearchCounts are the template counts of the split-search perf
+// trajectory (ISSUE: the Algorithm 2 hot path must scale to thousands
+// of templates).
+var SplitSearchCounts = []int{16, 128, 1024, 8192}
+
+// SplitSearch runs the incremental-vs-naive split-search benchmark at
+// each template count, seeded from the experiment parameters.
+func SplitSearch(p Params) []sampling.SplitBenchRow {
+	p = p.withDefaults()
+	return sampling.SplitSearchBench(SplitSearchCounts, p.Seed+71)
+}
+
+// WriteStratJSON writes the split-search rows as a JSON document (the
+// BENCH_strat.json artifact tracked across revisions).
+func WriteStratJSON(path string, rows []sampling.SplitBenchRow) error {
+	doc := struct {
+		Benchmark string                   `json:"benchmark"`
+		Rows      []sampling.SplitBenchRow `json:"rows"`
+	}{Benchmark: "split-search", Rows: rows}
+	data, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}

@@ -1,0 +1,120 @@
+package sampling
+
+import (
+	"math"
+	"reflect"
+	"runtime"
+
+	"physdes/internal/obs"
+	"physdes/internal/stats"
+)
+
+// SplitBenchRow is one point of the split-search perf trajectory: the
+// incremental Algorithm 2 sweep versus the retained naive reference on
+// the same single-stratum fixture of a given template count.
+type SplitBenchRow struct {
+	// Templates is the template count T of the fixture.
+	Templates int `json:"templates"`
+	// Rounds is how many times each search ran (timings are per search).
+	Rounds int `json:"rounds"`
+	// Evals is the number of split points the incremental search
+	// actually evaluated in one sweep (after its lossless floor skip).
+	Evals int `json:"evals"`
+	// IncNs / NaiveNs are wall nanoseconds per full search.
+	IncNs   float64 `json:"incremental_ns_per_search"`
+	NaiveNs float64 `json:"naive_ns_per_search"`
+	// Speedup is NaiveNs / IncNs.
+	Speedup float64 `json:"speedup"`
+	// IncAllocs / NaiveAllocs are heap allocations per search
+	// (steady state: the incremental side must report 0).
+	IncAllocs   float64 `json:"incremental_allocs_per_search"`
+	NaiveAllocs float64 `json:"naive_allocs_per_search"`
+	// Agree records that both searches returned the same decision.
+	Agree bool `json:"decisions_agree"`
+}
+
+// splitBenchFixture builds a deterministic single-stratum Algorithm 2
+// instance over T templates whose target variance puts the minimum
+// sample size around a quarter of the population — large enough to open
+// the alloc ≥ 2·n_min gate, small enough that every split point stays a
+// genuine binary-search workload.
+func splitBenchFixture(T int, seed uint64) ([]stats.Stratum, [][]tmplStat, float64, int) {
+	rng := stats.NewRNG(seed)
+	ts := make([]tmplStat, T)
+	totalSize := 0
+	for i := range ts {
+		w := 4 + rng.Intn(24)
+		m := math.Pow(10, 1+3*rng.Float64())
+		sd := 0.1 * m
+		v := sd * sd * (0.5 + rng.Float64())
+		ts[i] = tmplStat{t: i, w: w, m: m, v: v}
+		totalSize += w
+	}
+	cur := []stats.Stratum{{Size: totalSize, S2: setS2(ts)}}
+	nmin := 8
+	n := totalSize / 4
+	if n < 2*nmin {
+		n = 2 * nmin
+	}
+	targetVar := stats.StratifiedVariance(cur, stats.NeymanAllocation(cur, n, nmin))
+	return cur, [][]tmplStat{ts}, targetVar, nmin
+}
+
+// mallocs returns the cumulative heap allocation count of the process.
+func mallocs() uint64 {
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	return ms.Mallocs
+}
+
+// SplitSearchBench times the incremental and naive split searches at
+// each template count and reports per-search wall time, allocation
+// counts and decision agreement. Rounds auto-scale inversely with T so
+// the naive O(T²) side stays bounded.
+func SplitSearchBench(counts []int, seed uint64) []SplitBenchRow {
+	rows := make([]SplitBenchRow, 0, len(counts))
+	for _, T := range counts {
+		cur, tstats, targetVar, nmin := splitBenchFixture(T, seed)
+		rounds := 4096 / T
+		if rounds < 1 {
+			rounds = 1
+		}
+
+		var sc splitScratch
+		incDec, evals, incOK := findBestSplit(&sc, cur, tstats, targetVar, nmin) // warm-up grows the scratch
+		incLeft := append([]int(nil), incDec.left...)
+
+		m0 := mallocs()
+		sw := obs.NewStopwatch()
+		for r := 0; r < rounds; r++ {
+			findBestSplit(&sc, cur, tstats, targetVar, nmin)
+		}
+		incNs := float64(sw.Elapsed().Nanoseconds()) / float64(rounds)
+		incAllocs := float64(mallocs()-m0) / float64(rounds)
+
+		naiveDec, naiveOK := findBestSplitNaive(cur, tstats, targetVar, nmin) // warm-up for symmetry
+		m0 = mallocs()
+		sw = obs.NewStopwatch()
+		for r := 0; r < rounds; r++ {
+			findBestSplitNaive(cur, tstats, targetVar, nmin)
+		}
+		naiveNs := float64(sw.Elapsed().Nanoseconds()) / float64(rounds)
+		naiveAllocs := float64(mallocs()-m0) / float64(rounds)
+
+		agree := incOK == naiveOK &&
+			(!incOK || (incDec.stratum == naiveDec.stratum && incDec.gain == naiveDec.gain &&
+				reflect.DeepEqual(incLeft, naiveDec.left)))
+		rows = append(rows, SplitBenchRow{
+			Templates:   T,
+			Rounds:      rounds,
+			Evals:       evals,
+			IncNs:       incNs,
+			NaiveNs:     naiveNs,
+			Speedup:     naiveNs / incNs,
+			IncAllocs:   incAllocs,
+			NaiveAllocs: naiveAllocs,
+			Agree:       agree,
+		})
+	}
+	return rows
+}

@@ -15,11 +15,11 @@ type dStratum struct {
 	order     []int // permuted unsampled query indices
 	next      int
 	n         int
-	sums      []float64 // per config Σ cost
-	sumsqs    []float64 // per config Σ cost²
-	cross     []float64 // per config Σ cost_best·cost_j (vs current best)
-	rowIdx    []int     // indices into the sampler's row history
-	avgOver   float64   // mean optimization overhead of member queries
+	sums      []stats.Kahan // per config Σ cost
+	sumsqs    []stats.Kahan // per config Σ cost²
+	cross     []stats.Kahan // per config Σ cost_best·cost_j (vs current best)
+	rowIdx    []int         // indices into the sampler's row history
+	avgOver   float64       // mean optimization overhead of member queries
 }
 
 func (s *dStratum) exhausted() bool { return s.next >= len(s.order) }
@@ -47,17 +47,19 @@ type deltaSampler struct {
 	// Per-template estimator statistics (per configuration), for split
 	// decisions.
 	tCount []int
-	tSum   [][]float64
-	tSumsq [][]float64
-	tCross [][]float64
+	tSum   [][]stats.Kahan
+	tSumsq [][]stats.Kahan
+	tCross [][]stats.Kahan
 
 	rows    []dRow
 	best    int
 	sampled int
 	splits  int
 
-	met   samplerMetrics
-	trace []float64
+	met     samplerMetrics
+	trace   []float64
+	split   splitScratch // reusable split-search buffers
+	pairBuf []float64    // reusable pairwise Pr(CS) buffer
 }
 
 func newDeltaSampler(o Oracle, opts Options) *deltaSampler {
@@ -70,18 +72,18 @@ func newDeltaSampler(o Oracle, opts Options) *deltaSampler {
 		alive:      make([]bool, k),
 		aliveCount: k,
 		tCount:     make([]int, maxInt(opts.TemplateCount, 1)),
-		tSum:       make([][]float64, maxInt(opts.TemplateCount, 1)),
-		tSumsq:     make([][]float64, maxInt(opts.TemplateCount, 1)),
-		tCross:     make([][]float64, maxInt(opts.TemplateCount, 1)),
+		tSum:       make([][]stats.Kahan, maxInt(opts.TemplateCount, 1)),
+		tSumsq:     make([][]stats.Kahan, maxInt(opts.TemplateCount, 1)),
+		tCross:     make([][]stats.Kahan, maxInt(opts.TemplateCount, 1)),
 		met:        newSamplerMetrics(opts.Metrics),
 	}
 	for i := range d.alive {
 		d.alive[i] = true
 	}
 	for t := range d.tSum {
-		d.tSum[t] = make([]float64, k)
-		d.tSumsq[t] = make([]float64, k)
-		d.tCross[t] = make([]float64, k)
+		d.tSum[t] = make([]stats.Kahan, k)
+		d.tSumsq[t] = make([]stats.Kahan, k)
+		d.tCross[t] = make([]stats.Kahan, k)
 	}
 	for _, tmpls := range d.pop.initialTemplates(opts.Strat) {
 		d.addStratum(tmpls)
@@ -102,9 +104,9 @@ func (d *deltaSampler) addStratum(templates []int) *dStratum {
 		templates: templates,
 		size:      len(order),
 		order:     order,
-		sums:      make([]float64, d.k),
-		sumsqs:    make([]float64, d.k),
-		cross:     make([]float64, d.k),
+		sums:      make([]stats.Kahan, d.k),
+		sumsqs:    make([]stats.Kahan, d.k),
+		cross:     make([]stats.Kahan, d.k),
 		avgOver:   d.avgOverhead(order),
 	}
 	d.strata = append(d.strata, s)
@@ -202,13 +204,13 @@ func (d *deltaSampler) fold(h, q int, costs []float64) {
 			continue
 		}
 		c := costs[j]
-		s.sums[j] += c
-		s.sumsqs[j] += c * c
-		d.tSum[tmpl][j] += c
-		d.tSumsq[tmpl][j] += c * c
+		s.sums[j].Add(c)
+		s.sumsqs[j].AddProduct(c, c)
+		d.tSum[tmpl][j].Add(c)
+		d.tSumsq[tmpl][j].AddProduct(c, c)
 		if !math.IsNaN(cb) {
-			s.cross[j] += cb * c
-			d.tCross[tmpl][j] += cb * c
+			s.cross[j].AddProduct(cb, c)
+			d.tCross[tmpl][j].AddProduct(cb, c)
 		}
 	}
 	d.tCount[tmpl]++
@@ -219,20 +221,20 @@ func (d *deltaSampler) fold(h, q int, costs []float64) {
 // mean — unbiased strata-wise coverage is exactly what fine stratification
 // at small sample sizes lacks (Figure 2).
 func (d *deltaSampler) estimate(j int) float64 {
-	var globalSum float64
+	var globalSum stats.Kahan
 	globalN := 0
 	for _, s := range d.strata {
-		globalSum += s.sums[j]
+		globalSum.AddKahan(s.sums[j])
 		globalN += s.n
 	}
 	globalMean := 0.0
 	if globalN > 0 {
-		globalMean = globalSum / float64(globalN)
+		globalMean = globalSum.Sum() / float64(globalN)
 	}
 	var x float64
 	for _, s := range d.strata {
 		if s.n > 0 {
-			x += float64(s.size) * (s.sums[j] / float64(s.n))
+			x += float64(s.size) * (s.sums[j].Sum() / float64(s.n))
 		} else {
 			x += float64(s.size) * globalMean
 		}
@@ -245,14 +247,17 @@ func (d *deltaSampler) estimate(j int) float64 {
 func (d *deltaSampler) pairDiffVar(j int) float64 {
 	b := d.best
 	// Global fallback s² for strata with n < 2.
-	var gSum, gSumsq float64
+	var gSum, gSumsq stats.Kahan
 	gN := 0
 	for _, s := range d.strata {
-		gSum += s.sums[b] - s.sums[j]
-		gSumsq += s.sumsqs[b] + s.sumsqs[j] - 2*s.cross[j]
+		gSum.AddKahan(s.sums[b])
+		gSum.SubKahan(s.sums[j])
+		gSumsq.AddKahan(s.sumsqs[b])
+		gSumsq.AddKahan(s.sumsqs[j])
+		gSumsq.SubKahan(s.cross[j].Scaled(2))
 		gN += s.n
 	}
-	gVar, _ := sampleVarFromSums(gSum, gSumsq, gN)
+	gVar, _ := stats.SampleVarFromKahanSums(gSum, gSumsq, gN)
 	// A conservative σ²_max bound (Section 6.2) replaces any smaller
 	// sample-variance estimate, per stratum and in the fallback.
 	boundS2, haveBound := 0.0, false
@@ -271,9 +276,12 @@ func (d *deltaSampler) pairDiffVar(j int) float64 {
 		nEff := s.n
 		var s2 float64
 		if nEff >= 2 {
-			sum := s.sums[b] - s.sums[j]
-			sumsq := s.sumsqs[b] + s.sumsqs[j] - 2*s.cross[j]
-			s2, _ = sampleVarFromSums(sum, sumsq, nEff)
+			sum := s.sums[b]
+			sum.SubKahan(s.sums[j])
+			sumsq := s.sumsqs[b]
+			sumsq.AddKahan(s.sumsqs[j])
+			sumsq.SubKahan(s.cross[j].Scaled(2))
+			s2, _ = stats.SampleVarFromKahanSums(sum, sumsq, nEff)
 		} else {
 			s2 = gVar
 			if nEff == 0 {
@@ -294,7 +302,11 @@ func (d *deltaSampler) pairDiffVar(j int) float64 {
 // eliminated configurations.
 func (d *deltaSampler) prCS() (float64, []float64) {
 	xb := d.estimate(d.best)
-	pair := make([]float64, d.k)
+	d.pairBuf = grow(d.pairBuf, d.k)
+	pair := d.pairBuf
+	for i := range pair {
+		pair[i] = 0
+	}
 	p := 1 - d.elimPen
 	for j := 0; j < d.k; j++ {
 		if j == d.best || !d.alive[j] {
@@ -342,7 +354,7 @@ func (d *deltaSampler) recomputeCross() {
 	b := d.best
 	for _, s := range d.strata {
 		for j := range s.cross {
-			s.cross[j] = 0
+			s.cross[j] = stats.Kahan{}
 		}
 		for _, ri := range s.rowIdx {
 			row := d.rows[ri]
@@ -353,14 +365,14 @@ func (d *deltaSampler) recomputeCross() {
 			for j := 0; j < d.k; j++ {
 				c := row.costs[j]
 				if !math.IsNaN(c) {
-					s.cross[j] += cb * c
+					s.cross[j].AddProduct(cb, c)
 				}
 			}
 		}
 	}
 	for t := range d.tCross {
 		for j := range d.tCross[t] {
-			d.tCross[t][j] = 0
+			d.tCross[t][j] = stats.Kahan{}
 		}
 	}
 	for _, row := range d.rows {
@@ -371,7 +383,7 @@ func (d *deltaSampler) recomputeCross() {
 		for j := 0; j < d.k; j++ {
 			c := row.costs[j]
 			if !math.IsNaN(c) {
-				d.tCross[row.tmpl][j] += cb * c
+				d.tCross[row.tmpl][j].AddProduct(cb, c)
 			}
 		}
 	}
@@ -440,9 +452,12 @@ func (d *deltaSampler) nextStratum() int {
 			if j == d.best || !d.alive[j] {
 				continue
 			}
-			sum := s.sums[d.best] - s.sums[j]
-			sumsq := s.sumsqs[d.best] + s.sumsqs[j] - 2*s.cross[j]
-			s2, ok := sampleVarFromSums(sum, sumsq, s.n)
+			sum := s.sums[d.best]
+			sum.SubKahan(s.sums[j])
+			sumsq := s.sumsqs[d.best]
+			sumsq.AddKahan(s.sumsqs[j])
+			sumsq.SubKahan(s.cross[j].Scaled(2))
+			s2, ok := stats.SampleVarFromKahanSums(sum, sumsq, s.n)
 			if !ok {
 				continue
 			}
@@ -492,44 +507,82 @@ func (d *deltaSampler) maybeSplit() {
 		return
 	}
 
-	cur := make([]stats.Stratum, len(d.strata))
-	tmplStats := make([][]tmplStat, len(d.strata))
+	sc := &d.split
+	L := len(d.strata)
+	sc.cur = grow(sc.cur, L)
+	sc.tstats = grow(sc.tstats, L)
+	sc.toffs = grow(sc.toffs, L)
+	sc.tbuf = sc.tbuf[:0]
 	for h, s := range d.strata {
-		sum := s.sums[d.best] - s.sums[worst]
-		sumsq := s.sumsqs[d.best] + s.sumsqs[worst] - 2*s.cross[worst]
-		s2, _ := sampleVarFromSums(sum, sumsq, s.n)
-		cur[h] = stats.Stratum{Size: s.size, S2: s2, Taken: s.n}
-		tmplStats[h] = d.stratumTmplStats(s, worst)
+		sum := s.sums[d.best]
+		sum.SubKahan(s.sums[worst])
+		sumsq := s.sumsqs[d.best]
+		sumsq.AddKahan(s.sumsqs[worst])
+		sumsq.SubKahan(s.cross[worst].Scaled(2))
+		s2, _ := stats.SampleVarFromKahanSums(sum, sumsq, s.n)
+		sc.cur[h] = stats.Stratum{Size: s.size, S2: s2, Taken: s.n}
+		start := len(sc.tbuf)
+		buf, ok := d.stratumTmplStatsInto(sc.tbuf, s, worst)
+		sc.tbuf = buf
+		if ok {
+			sc.toffs[h] = [2]int{start, len(sc.tbuf)}
+		} else {
+			sc.toffs[h] = [2]int{-1, -1}
+		}
 	}
-	dec, ok := findBestSplit(cur, tmplStats, targetVar, d.opts.NMin)
+	// Slice tstats only once tbuf has stopped growing: appends above may
+	// have reallocated the backing array.
+	for h := range d.strata {
+		if sc.toffs[h][0] < 0 {
+			sc.tstats[h] = nil
+		} else {
+			sc.tstats[h] = sc.tbuf[sc.toffs[h][0]:sc.toffs[h][1]]
+		}
+	}
+	var sw obs.Stopwatch
+	if d.opts.Metrics != nil {
+		sw = obs.NewStopwatch()
+	}
+	dec, evals, ok := findBestSplit(sc, sc.cur, sc.tstats, targetVar, d.opts.NMin)
+	if d.opts.Metrics != nil {
+		d.met.splitSearch.Observe(sw.Elapsed().Seconds())
+	}
+	d.met.splitEvals.Add(int64(evals))
 	if !ok {
 		return
 	}
 	d.applySplit(dec)
 }
 
-// stratumTmplStats summarizes the per-template difference statistics of a
-// stratum for the constraining pair, or nil when some member template lacks
+// stratumTmplStatsInto appends the stratum's per-template difference
+// statistics for the constraining pair to buf, or truncates its
+// contribution and reports false when some member template lacks
 // observations.
-func (d *deltaSampler) stratumTmplStats(s *dStratum, worst int) []tmplStat {
-	out := make([]tmplStat, 0, len(s.templates))
+func (d *deltaSampler) stratumTmplStatsInto(buf []tmplStat, s *dStratum, worst int) ([]tmplStat, bool) {
+	start := len(buf)
 	for _, t := range s.templates {
 		if d.tCount[t] < d.opts.MinTemplateObs {
-			return nil
+			return buf[:start], false
 		}
 		n := d.tCount[t]
-		sum := d.tSum[t][d.best] - d.tSum[t][worst]
-		sumsq := d.tSumsq[t][d.best] + d.tSumsq[t][worst] - 2*d.tCross[t][worst]
-		m := sum / float64(n)
-		v, _ := sampleVarFromSums(sum, sumsq, n)
-		out = append(out, tmplStat{t: t, w: d.pop.templateSize(t), m: m, v: v})
+		sum := d.tSum[t][d.best]
+		sum.SubKahan(d.tSum[t][worst])
+		sumsq := d.tSumsq[t][d.best]
+		sumsq.AddKahan(d.tSumsq[t][worst])
+		sumsq.SubKahan(d.tCross[t][worst].Scaled(2))
+		m := sum.Sum() / float64(n)
+		v, _ := stats.SampleVarFromKahanSums(sum, sumsq, n)
+		buf = append(buf, tmplStat{t: t, w: d.pop.templateSize(t), m: m, v: v})
 	}
-	return out
+	return buf, true
 }
 
 // applySplit replaces the split stratum with its two children, partitioning
 // the unsampled order and replaying the sampled rows into the right child.
 func (d *deltaSampler) applySplit(dec splitDecision) {
+	// dec.left aliases the split scratch; copy before retaining it as the
+	// child stratum's template list.
+	dec.left = append([]int(nil), dec.left...)
 	parent := d.strata[dec.stratum]
 	leftSet := make(map[int]bool, len(dec.left))
 	for _, t := range dec.left {
@@ -550,9 +603,9 @@ func (d *deltaSampler) applySplit(dec splitDecision) {
 		return &dStratum{
 			templates: tmpls,
 			size:      size,
-			sums:      make([]float64, d.k),
-			sumsqs:    make([]float64, d.k),
-			cross:     make([]float64, d.k),
+			sums:      make([]stats.Kahan, d.k),
+			sumsqs:    make([]stats.Kahan, d.k),
+			cross:     make([]stats.Kahan, d.k),
 		}
 	}
 	left, right := mk(dec.left), mk(rightTmpls)
@@ -586,10 +639,10 @@ func (d *deltaSampler) applySplit(dec splitDecision) {
 			if math.IsNaN(c) {
 				continue
 			}
-			child.sums[j] += c
-			child.sumsqs[j] += c * c
+			child.sums[j].Add(c)
+			child.sumsqs[j].AddProduct(c, c)
 			if !math.IsNaN(cb) {
-				child.cross[j] += cb * c
+				child.cross[j].AddProduct(cb, c)
 			}
 		}
 	}

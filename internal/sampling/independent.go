@@ -17,8 +17,8 @@ type icStratum struct {
 	order     []int // permuted query indices for this configuration
 	next      int
 	n         int
-	sum       float64
-	sumsq     float64
+	sum       stats.Kahan
+	sumsq     stats.Kahan
 	avgOver   float64
 }
 
@@ -48,14 +48,16 @@ type independentSampler struct {
 
 	// Per-template per-configuration statistics for split decisions.
 	tCount [][]int
-	tSum   [][]float64
-	tSumsq [][]float64
+	tSum   [][]stats.Kahan
+	tSumsq [][]stats.Kahan
 
 	best        int
 	sampled     int
 	lastSampled int // configuration index of the last sample
 	met         samplerMetrics
 	trace       []float64
+	split       splitScratch // reusable split-search buffers
+	pairBuf     []float64    // reusable pairwise Pr(CS) buffer
 }
 
 func newIndependentSampler(o Oracle, opts Options) *independentSampler {
@@ -70,8 +72,8 @@ func newIndependentSampler(o Oracle, opts Options) *independentSampler {
 		aliveCount: k,
 		cfg:        make([]cfgState, k),
 		tCount:     make([][]int, tc),
-		tSum:       make([][]float64, tc),
-		tSumsq:     make([][]float64, tc),
+		tSum:       make([][]stats.Kahan, tc),
+		tSumsq:     make([][]stats.Kahan, tc),
 		met:        newSamplerMetrics(opts.Metrics),
 	}
 	for j := range s.alive {
@@ -79,8 +81,8 @@ func newIndependentSampler(o Oracle, opts Options) *independentSampler {
 	}
 	for t := 0; t < tc; t++ {
 		s.tCount[t] = make([]int, k)
-		s.tSum[t] = make([]float64, k)
-		s.tSumsq[t] = make([]float64, k)
+		s.tSum[t] = make([]stats.Kahan, k)
+		s.tSumsq[t] = make([]stats.Kahan, k)
 	}
 	for j := 0; j < k; j++ {
 		for _, tmpls := range s.pop.initialTemplates(opts.Strat) {
@@ -140,34 +142,34 @@ func (s *independentSampler) fold(j, h, q int, c float64) {
 	s.met.samples.Inc()
 	s.lastSampled = j
 
-	st.sum += c
-	st.sumsq += c * c
+	st.sum.Add(c)
+	st.sumsq.AddProduct(c, c)
 	tmpl := 0
 	if s.opts.TemplateIndex != nil {
 		tmpl = s.opts.TemplateIndex[q]
 	}
 	s.tCount[tmpl][j]++
-	s.tSum[tmpl][j] += c
-	s.tSumsq[tmpl][j] += c * c
+	s.tSum[tmpl][j].Add(c)
+	s.tSumsq[tmpl][j].AddProduct(c, c)
 }
 
 // estimate returns X_j = Σ_h |WL_h|·mean_h over configuration j's strata,
 // with the global-mean fallback for unsampled strata.
 func (s *independentSampler) estimate(j int) float64 {
-	var gSum float64
+	var gSum stats.Kahan
 	gN := 0
 	for _, st := range s.cfg[j].strata {
-		gSum += st.sum
+		gSum.AddKahan(st.sum)
 		gN += st.n
 	}
 	gMean := 0.0
 	if gN > 0 {
-		gMean = gSum / float64(gN)
+		gMean = gSum.Sum() / float64(gN)
 	}
 	var x float64
 	for _, st := range s.cfg[j].strata {
 		if st.n > 0 {
-			x += float64(st.size) * (st.sum / float64(st.n))
+			x += float64(st.size) * (st.sum.Sum() / float64(st.n))
 		} else {
 			x += float64(st.size) * gMean
 		}
@@ -177,14 +179,14 @@ func (s *independentSampler) estimate(j int) float64 {
 
 // estVar returns Var(X_j) per Equation 5 over configuration j's strata.
 func (s *independentSampler) estVar(j int) float64 {
-	var gSum, gSumsq float64
+	var gSum, gSumsq stats.Kahan
 	gN := 0
 	for _, st := range s.cfg[j].strata {
-		gSum += st.sum
-		gSumsq += st.sumsq
+		gSum.AddKahan(st.sum)
+		gSumsq.AddKahan(st.sumsq)
 		gN += st.n
 	}
-	gVar, _ := sampleVarFromSums(gSum, gSumsq, gN)
+	gVar, _ := stats.SampleVarFromKahanSums(gSum, gSumsq, gN)
 	boundS2, haveBound := 0.0, false
 	if bound := s.opts.VarianceBound; bound != nil {
 		boundS2, haveBound = bound([2]int{j, j}, gN)
@@ -200,7 +202,7 @@ func (s *independentSampler) estVar(j int) float64 {
 		nEff := st.n
 		var s2 float64
 		if nEff >= 2 {
-			s2, _ = sampleVarFromSums(st.sum, st.sumsq, nEff)
+			s2, _ = stats.SampleVarFromKahanSums(st.sum, st.sumsq, nEff)
 		} else {
 			s2 = gVar
 			if nEff == 0 {
@@ -219,7 +221,11 @@ func (s *independentSampler) estVar(j int) float64 {
 func (s *independentSampler) prCS() (float64, []float64) {
 	xb := s.estimate(s.best)
 	vb := s.estVar(s.best)
-	pair := make([]float64, s.k)
+	s.pairBuf = grow(s.pairBuf, s.k)
+	pair := s.pairBuf
+	for i := range pair {
+		pair[i] = 0
+	}
 	p := 1 - s.elimPen
 	for j := 0; j < s.k; j++ {
 		if j == s.best || !s.alive[j] {
@@ -318,7 +324,7 @@ func (s *independentSampler) nextSample() (j, h int) {
 			if st.n < 2 {
 				return ji, hi
 			}
-			s2, ok := sampleVarFromSums(st.sum, st.sumsq, st.n)
+			s2, ok := stats.SampleVarFromKahanSums(st.sum, st.sumsq, st.n)
 			if !ok {
 				continue
 			}
@@ -374,32 +380,63 @@ func (s *independentSampler) maybeSplit() {
 	}
 
 	strata := s.cfg[ci].strata
-	cur := make([]stats.Stratum, len(strata))
-	tmplStats := make([][]tmplStat, len(strata))
+	sc := &s.split
+	L := len(strata)
+	sc.cur = grow(sc.cur, L)
+	sc.tstats = grow(sc.tstats, L)
+	sc.toffs = grow(sc.toffs, L)
+	sc.tbuf = sc.tbuf[:0]
 	for h, st := range strata {
-		s2, _ := sampleVarFromSums(st.sum, st.sumsq, st.n)
-		cur[h] = stats.Stratum{Size: st.size, S2: s2, Taken: st.n}
-		tmplStats[h] = s.stratumTmplStats(st, ci)
+		s2, _ := stats.SampleVarFromKahanSums(st.sum, st.sumsq, st.n)
+		sc.cur[h] = stats.Stratum{Size: st.size, S2: s2, Taken: st.n}
+		start := len(sc.tbuf)
+		buf, ok := s.stratumTmplStatsInto(sc.tbuf, st, ci)
+		sc.tbuf = buf
+		if ok {
+			sc.toffs[h] = [2]int{start, len(sc.tbuf)}
+		} else {
+			sc.toffs[h] = [2]int{-1, -1}
+		}
 	}
-	dec, ok := findBestSplit(cur, tmplStats, targetVar, s.opts.NMin)
+	// Slice tstats only once tbuf has stopped growing: appends above may
+	// have reallocated the backing array.
+	for h := range strata {
+		if sc.toffs[h][0] < 0 {
+			sc.tstats[h] = nil
+		} else {
+			sc.tstats[h] = sc.tbuf[sc.toffs[h][0]:sc.toffs[h][1]]
+		}
+	}
+	var sw obs.Stopwatch
+	if s.opts.Metrics != nil {
+		sw = obs.NewStopwatch()
+	}
+	dec, evals, ok := findBestSplit(sc, sc.cur, sc.tstats, targetVar, s.opts.NMin)
+	if s.opts.Metrics != nil {
+		s.met.splitSearch.Observe(sw.Elapsed().Seconds())
+	}
+	s.met.splitEvals.Add(int64(evals))
 	if !ok {
 		return
 	}
 	s.applySplit(ci, dec)
 }
 
-func (s *independentSampler) stratumTmplStats(st *icStratum, ci int) []tmplStat {
-	out := make([]tmplStat, 0, len(st.templates))
+// stratumTmplStatsInto appends the stratum's per-template statistics to
+// buf, or truncates its contribution and reports false when some member
+// template lacks observations.
+func (s *independentSampler) stratumTmplStatsInto(buf []tmplStat, st *icStratum, ci int) ([]tmplStat, bool) {
+	start := len(buf)
 	for _, t := range st.templates {
 		if s.tCount[t][ci] < s.opts.MinTemplateObs {
-			return nil
+			return buf[:start], false
 		}
 		n := s.tCount[t][ci]
-		m := s.tSum[t][ci] / float64(n)
-		v, _ := sampleVarFromSums(s.tSum[t][ci], s.tSumsq[t][ci], n)
-		out = append(out, tmplStat{t: t, w: s.pop.templateSize(t), m: m, v: v})
+		m := s.tSum[t][ci].Sum() / float64(n)
+		v, _ := stats.SampleVarFromKahanSums(s.tSum[t][ci], s.tSumsq[t][ci], n)
+		buf = append(buf, tmplStat{t: t, w: s.pop.templateSize(t), m: m, v: v})
 	}
-	return out
+	return buf, true
 }
 
 // applySplit replaces configuration ci's stratum with its two children.
@@ -407,6 +444,9 @@ func (s *independentSampler) stratumTmplStats(st *icStratum, ci int) []tmplStat 
 // its accumulators and receives a fresh pilot — a conservative
 // simplification that charges the split's cost explicitly.
 func (s *independentSampler) applySplit(ci int, dec splitDecision) {
+	// dec.left aliases the split scratch; copy before retaining it as the
+	// child stratum's template list.
+	dec.left = append([]int(nil), dec.left...)
 	strata := s.cfg[ci].strata
 	parent := strata[dec.stratum]
 	leftSet := make(map[int]bool, len(dec.left))

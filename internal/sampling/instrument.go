@@ -10,6 +10,8 @@ type samplerMetrics struct {
 	rounds       *obs.Counter
 	splits       *obs.Counter
 	eliminations *obs.Counter
+	splitEvals   *obs.Counter
+	splitSearch  *obs.Histogram
 }
 
 func newSamplerMetrics(r *obs.Registry) samplerMetrics {
@@ -18,5 +20,7 @@ func newSamplerMetrics(r *obs.Registry) samplerMetrics {
 		rounds:       r.Counter("sampling_rounds_total"),
 		splits:       r.Counter("sampling_splits_total"),
 		eliminations: r.Counter("sampling_eliminations_total"),
+		splitEvals:   r.Counter("sampling_split_evals_total"),
+		splitSearch:  r.Histogram("sampling_split_search_seconds"),
 	}
 }

@@ -1,0 +1,155 @@
+package sampling
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+
+	"physdes/internal/stats"
+)
+
+// randomSplitInstance generates a seeded Algorithm 2 instance: 1–4
+// strata of 1–8 templates each, with occasional exact mean ties,
+// occasional strata without template estimates (nil tmplStats), and a
+// target variance scattered around the reachable range.
+func randomSplitInstance(rng *stats.RNG) ([]stats.Stratum, [][]tmplStat, float64, int) {
+	L := 1 + rng.Intn(4)
+	cur := make([]stats.Stratum, L)
+	tstats := make([][]tmplStat, L)
+	tid := 0
+	total := 0
+	for h := 0; h < L; h++ {
+		T := 1 + rng.Intn(8)
+		ts := make([]tmplStat, T)
+		size := 0
+		for i := range ts {
+			w := 1 + rng.Intn(30)
+			m := 10 * (1 + 9*rng.Float64())
+			if i > 0 && rng.Intn(4) == 0 {
+				m = ts[i-1].m // exact tie: exercises the t tie-break
+			}
+			v := rng.Float64() * m
+			ts[i] = tmplStat{t: tid, w: w, m: m, v: v}
+			tid++
+			size += w
+		}
+		cur[h] = stats.Stratum{Size: size, S2: setS2(ts)}
+		total += size
+		if rng.Intn(5) == 0 {
+			tstats[h] = nil // stratum lacking estimates
+		} else {
+			tstats[h] = ts
+		}
+	}
+	nmin := 1 + rng.Intn(6)
+	n := nmin*L + 1 + rng.Intn(total/2+1)
+	targetVar := stats.StratifiedVariance(cur, stats.NeymanAllocation(cur, n, nmin)) * (0.5 + rng.Float64())
+	return cur, tstats, targetVar, nmin
+}
+
+// TestFindBestSplitIncrementalEquivalence is the tentpole's safety net:
+// on randomized workloads the incremental prefix-moment search must
+// return decisions equal to the retained naive reference — same ok flag,
+// same stratum, same gain, same left template set.
+func TestFindBestSplitIncrementalEquivalence(t *testing.T) {
+	rng := stats.NewRNG(42)
+	var sc splitScratch // shared across cases: reuse must not leak state
+	for it := 0; it < 300; it++ {
+		cur, tstats, targetVar, nmin := randomSplitInstance(rng)
+		wantDec, wantOK := findBestSplitNaive(cur, tstats, targetVar, nmin)
+		gotDec, _, gotOK := findBestSplit(&sc, cur, tstats, targetVar, nmin)
+		if gotOK != wantOK {
+			t.Fatalf("case %d: ok=%v, naive ok=%v", it, gotOK, wantOK)
+		}
+		if !gotOK {
+			continue
+		}
+		got := splitDecision{stratum: gotDec.stratum, left: append([]int(nil), gotDec.left...), gain: gotDec.gain}
+		if !reflect.DeepEqual(got, wantDec) {
+			t.Fatalf("case %d: incremental %+v, naive %+v", it, got, wantDec)
+		}
+	}
+}
+
+// TestFindBestSplitZeroAlloc pins the steady-state allocation count of
+// the incremental search at exactly zero once the scratch is warm.
+func TestFindBestSplitZeroAlloc(t *testing.T) {
+	cur, tstats, targetVar, nmin := splitBenchFixture(128, 7)
+	var sc splitScratch
+	if _, _, ok := findBestSplit(&sc, cur, tstats, targetVar, nmin); !ok {
+		t.Fatal("fixture found no split")
+	}
+	avg := testing.AllocsPerRun(100, func() {
+		findBestSplit(&sc, cur, tstats, targetVar, nmin)
+	})
+	if avg != 0 {
+		t.Fatalf("steady-state findBestSplit allocates %v per run, want 0", avg)
+	}
+}
+
+// TestSetS2LargeMeanRobustness: with template means around 1e9 and unit
+// variances, the plain Σw(m²+v) − (Σwm)²/W form loses all signal to
+// cancellation (ulp at 1e18 is ~256). The compensated setS2 must agree
+// with the shift-invariant reference computed on centered means instead
+// of clamping a negative result to zero.
+func TestSetS2LargeMeanRobustness(t *testing.T) {
+	const base = 1e9
+	ts := make([]tmplStat, 64)
+	shifted := make([]tmplStat, len(ts))
+	for i := range ts {
+		d := 0.5 * float64(i) // base+d is exactly representable
+		ts[i] = tmplStat{t: i, w: 10, m: base + d, v: 1}
+		shifted[i] = tmplStat{t: i, w: 10, m: d, v: 1}
+	}
+	got := setS2(ts)
+	want := setS2(shifted) // small magnitudes: no cancellation
+	if want <= 1 {
+		t.Fatalf("reference S² = %v, fixture is degenerate", want)
+	}
+	if rel := (got - want) / want; rel > 1e-9 || rel < -1e-9 {
+		t.Fatalf("setS2 at mean 1e9 = %v, shifted reference %v (rel err %v)", got, want, rel)
+	}
+}
+
+// TestSplitSearchBenchAgrees runs the exported bench harness at small
+// sizes, checking decision agreement and the zero-alloc claim it reports.
+func TestSplitSearchBenchAgrees(t *testing.T) {
+	for _, row := range SplitSearchBench([]int{16, 64}, 3) {
+		if !row.Agree {
+			t.Errorf("T=%d: incremental and naive decisions disagree", row.Templates)
+		}
+		if row.IncAllocs != 0 {
+			t.Errorf("T=%d: incremental search allocates %v per search, want 0", row.Templates, row.IncAllocs)
+		}
+	}
+}
+
+func benchmarkSplit(b *testing.B, T int, naive bool) {
+	cur, tstats, targetVar, nmin := splitBenchFixture(T, 7)
+	var sc splitScratch
+	findBestSplit(&sc, cur, tstats, targetVar, nmin)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if naive {
+			findBestSplitNaive(cur, tstats, targetVar, nmin)
+		} else {
+			findBestSplit(&sc, cur, tstats, targetVar, nmin)
+		}
+	}
+}
+
+// BenchmarkFindBestSplit is the steady-state incremental search; CI
+// gates on its allocs/op staying at zero.
+func BenchmarkFindBestSplit(b *testing.B) {
+	for _, T := range []int{16, 128, 1024} {
+		b.Run(fmt.Sprintf("T=%d", T), func(b *testing.B) { benchmarkSplit(b, T, false) })
+	}
+}
+
+// BenchmarkFindBestSplitNaive is the retained O(T²) reference.
+func BenchmarkFindBestSplitNaive(b *testing.B) {
+	for _, T := range []int{16, 128, 1024} {
+		b.Run(fmt.Sprintf("T=%d", T), func(b *testing.B) { benchmarkSplit(b, T, true) })
+	}
+}

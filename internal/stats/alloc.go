@@ -50,25 +50,37 @@ func StratifiedVariance(strata []Stratum, alloc []int) float64 {
 // clamped strata are redistributed among the unclamped ones.
 func NeymanAllocation(strata []Stratum, n, perStratumMin int) []int {
 	L := len(strata)
-	alloc := make([]int, L)
+	return NeymanAllocationInto(make([]int, L), make([]int, L), strata, n, perStratumMin)
+}
+
+// NeymanAllocationInto is NeymanAllocation writing into caller-provided
+// buffers: dst receives the allocation and capLeft is working space for
+// the remaining per-stratum capacity. Both are used from index 0 and
+// fully overwritten; when either is too small a fresh slice is
+// allocated, so pre-sized buffers make the call allocation-free (the
+// property the split-search binary probes rely on). The (possibly
+// grown) allocation slice is returned.
+func NeymanAllocationInto(dst, capLeft []int, strata []Stratum, n, perStratumMin int) []int {
+	L := len(strata)
+	dst = growInts(dst, L)
 	if L == 0 {
-		return alloc
+		return dst
 	}
+	capLeft = growInts(capLeft, L)
 
 	// First pass: reserve the minimum everywhere it fits.
 	remaining := n
-	capLeft := make([]int, L)
 	for h, st := range strata {
 		m := perStratumMin
 		if m > st.Size {
 			m = st.Size
 		}
-		alloc[h] = m
+		dst[h] = m
 		remaining -= m
 		capLeft[h] = st.Size - m
 	}
 	if remaining <= 0 {
-		return alloc
+		return dst
 	}
 
 	// Iteratively hand out the remainder proportionally to W_h·S_h among
@@ -83,24 +95,11 @@ func NeymanAllocation(strata []Stratum, n, perStratumMin int) []int {
 			}
 		}
 		if totalWeight == 0 {
-			// All remaining strata have zero variance estimates; spread
-			// uniformly over those with capacity.
-			progress := false
-			for h := range strata {
-				if remaining == 0 {
-					break
-				}
-				if capLeft[h] > 0 {
-					alloc[h]++
-					capLeft[h]--
-					remaining--
-					progress = true
-				}
-			}
-			if !progress {
-				break // every stratum exhausted
-			}
-			continue
+			// All remaining strata have zero variance estimates; with every
+			// weight equal the weight-ordered handout degenerates to a
+			// uniform spread over the strata with capacity.
+			handOutByWeight(strata, dst, capLeft, &remaining)
+			break
 		}
 		clamped := false
 		distributed := 0
@@ -114,28 +113,72 @@ func NeymanAllocation(strata []Stratum, n, perStratumMin int) []int {
 				give = capLeft[h]
 				clamped = true
 			}
-			alloc[h] += give
+			dst[h] += give
 			capLeft[h] -= give
 			distributed += give
 		}
 		remaining -= distributed
 		if distributed == 0 && !clamped {
-			// Rounding stalled: hand out one-by-one to the highest-weight
-			// strata with capacity.
-			for h := range strata {
-				if remaining == 0 {
-					break
-				}
-				if capLeft[h] > 0 {
-					alloc[h]++
-					capLeft[h]--
-					remaining--
-				}
-			}
+			// Rounding stalled: every proportional share floored to zero.
+			// Hand the leftovers out one-by-one to the highest-weight
+			// strata first — the strata Neyman's rule itself would top up.
+			handOutByWeight(strata, dst, capLeft, &remaining)
 			break
 		}
 	}
-	return alloc
+	return dst
+}
+
+// handOutByWeight gives the remaining samples out one at a time in
+// descending W_h·S_h order (ties broken by lower index), restarting the
+// order each pass until the remainder is placed or capacity runs out.
+// It scans rather than sorts so the probe path stays allocation-free;
+// the remainder at a rounding stall is always smaller than the number
+// of positive-weight strata, so the scans are cheap.
+func handOutByWeight(strata []Stratum, alloc, capLeft []int, remaining *int) {
+	for *remaining > 0 {
+		prevW := math.Inf(1)
+		prevIdx := -1
+		progress := false
+		for *remaining > 0 {
+			// Next stratum with capacity in (weight desc, index asc) order
+			// strictly after the previously served (prevW, prevIdx).
+			bh := -1
+			var bw float64
+			for h, st := range strata {
+				if capLeft[h] <= 0 {
+					continue
+				}
+				w := float64(st.Size) * math.Sqrt(math.Max(st.S2, 0))
+				if w > prevW || (w == prevW && h <= prevIdx) {
+					continue // served earlier in this pass
+				}
+				if bh < 0 || w > bw {
+					bh, bw = h, w
+				}
+			}
+			if bh < 0 {
+				break // pass exhausted
+			}
+			alloc[bh]++
+			capLeft[bh]--
+			*remaining--
+			prevW, prevIdx = bw, bh
+			progress = true
+		}
+		if !progress {
+			return // every stratum at capacity
+		}
+	}
+}
+
+// growInts returns s resized to n entries, reallocating only when the
+// capacity is insufficient. Contents are unspecified.
+func growInts(s []int, n int) []int {
+	if cap(s) < n {
+		return make([]int, n)
+	}
+	return s[:n]
 }
 
 // MinSamplesForVariance returns the smallest total sample size n such that a
@@ -148,6 +191,28 @@ func NeymanAllocation(strata []Stratum, n, perStratumMin int) []int {
 // size; if even sampling everything cannot reach the target (targetVar < 0),
 // the total population size is returned.
 func MinSamplesForVariance(strata []Stratum, targetVar float64, perStratumMin int) int {
+	var sc AllocScratch
+	return MinSamplesForVarianceScratch(strata, targetVar, perStratumMin, &sc, 0)
+}
+
+// AllocScratch holds the working buffers MinSamplesForVarianceScratch
+// threads through its NeymanAllocationInto probes, so the O(log N)
+// binary-search evaluations reuse two slices instead of allocating two
+// per probe. The zero value is ready to use; buffers grow on first use
+// and are retained across calls.
+type AllocScratch struct {
+	alloc   []int
+	capLeft []int
+}
+
+// MinSamplesForVarianceScratch is MinSamplesForVariance with
+// caller-managed buffers and an optional precomputed lower bound.
+// loHint, when positive, must equal the structural floor
+// Σ_h min(perStratumMin, Size_h) — callers that maintain the floor
+// incrementally (the split-search sweep) pass it to skip the O(L)
+// recomputation; loHint ≤ 0 derives the floor internally. The probe
+// sequence is bit-identical to MinSamplesForVariance in every case.
+func MinSamplesForVarianceScratch(strata []Stratum, targetVar float64, perStratumMin int, sc *AllocScratch, loHint int) int {
 	total := 0
 	for _, st := range strata {
 		total += st.Size
@@ -155,27 +220,33 @@ func MinSamplesForVariance(strata []Stratum, targetVar float64, perStratumMin in
 	if total == 0 {
 		return 0
 	}
-	lo := 0
-	for _, st := range strata {
-		m := perStratumMin
-		if m > st.Size {
-			m = st.Size
+	lo := loHint
+	if lo <= 0 {
+		lo = 0
+		for _, st := range strata {
+			m := perStratumMin
+			if m > st.Size {
+				m = st.Size
+			}
+			lo += m
 		}
-		lo += m
 	}
 	if lo < 1 {
 		lo = 1
 	}
-	if v := StratifiedVariance(strata, NeymanAllocation(strata, lo, perStratumMin)); v <= targetVar {
+	L := len(strata)
+	sc.alloc = growInts(sc.alloc, L)
+	sc.capLeft = growInts(sc.capLeft, L)
+	if v := StratifiedVariance(strata, NeymanAllocationInto(sc.alloc, sc.capLeft, strata, lo, perStratumMin)); v <= targetVar {
 		return lo
 	}
 	hi := total
-	if v := StratifiedVariance(strata, NeymanAllocation(strata, hi, perStratumMin)); v > targetVar {
+	if v := StratifiedVariance(strata, NeymanAllocationInto(sc.alloc, sc.capLeft, strata, hi, perStratumMin)); v > targetVar {
 		return total
 	}
 	for lo < hi {
 		mid := (lo + hi) / 2
-		v := StratifiedVariance(strata, NeymanAllocation(strata, mid, perStratumMin))
+		v := StratifiedVariance(strata, NeymanAllocationInto(sc.alloc, sc.capLeft, strata, mid, perStratumMin))
 		if v <= targetVar {
 			hi = mid
 		} else {

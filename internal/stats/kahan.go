@@ -1,0 +1,90 @@
+package stats
+
+import "math"
+
+// Kahan is a Neumaier-compensated float64 accumulator: S carries the
+// running sum and C the accumulated low-order bits that plain addition
+// would have rounded away. Together the pair behaves like a ~106-bit
+// sum, which is what lets variance-from-sums formulas survive the
+// catastrophic cancellation of Σx² − (Σx)²/n when means dwarf the
+// standard deviation (query costs around 1e9 with unit variance lose
+// all signal in plain float64). The zero Kahan is an empty sum.
+type Kahan struct {
+	S float64 // primary running sum
+	C float64 // compensation: low-order bits of S
+}
+
+// Add folds x into the accumulator (Neumaier's branch keeps the
+// compensation exact whichever operand is larger).
+func (k *Kahan) Add(x float64) {
+	t := k.S + x
+	if math.Abs(k.S) >= math.Abs(x) {
+		k.C += (k.S - t) + x
+	} else {
+		k.C += (x - t) + k.S
+	}
+	k.S = t
+}
+
+// AddProduct folds the product a·b in at full precision: the rounded
+// head a*b and its exact FMA residual are added separately, so squares
+// and cross terms enter the sum without losing their low bits.
+func (k *Kahan) AddProduct(a, b float64) {
+	p := a * b
+	k.Add(p)
+	k.Add(math.FMA(a, b, -p))
+}
+
+// AddKahan folds another compensated sum in, preserving both parts.
+func (k *Kahan) AddKahan(o Kahan) {
+	k.Add(o.S)
+	k.Add(o.C)
+}
+
+// SubKahan subtracts another compensated sum.
+func (k *Kahan) SubKahan(o Kahan) {
+	k.Add(-o.S)
+	k.Add(-o.C)
+}
+
+// Scaled returns the sum multiplied by f. It is exact when f is a power
+// of two (the only way the samplers use it: the 2·Σxy cross term).
+func (k Kahan) Scaled(f float64) Kahan {
+	return Kahan{S: k.S * f, C: k.C * f}
+}
+
+// Sum collapses the accumulator to a single float64.
+func (k Kahan) Sum() float64 {
+	return k.S + k.C
+}
+
+// KahanCenteredSumSq evaluates Σx² − (Σx)²/W from compensated Σx and
+// Σx² without cancelling the signal away: (Σx)² and its division by W
+// are both computed in head+tail form (FMA residuals), the two large
+// heads are subtracted first — they are close, so the difference is
+// exact — and the tails then restore the low-order bits. W is the total
+// weight (the observation count for plain sums).
+func KahanCenteredSumSq(sum, sumsq Kahan, W float64) float64 {
+	pHi := sum.S * sum.S
+	pLo := math.FMA(sum.S, sum.S, -pHi) + 2*sum.S*sum.C + sum.C*sum.C
+	aHi := pHi / W
+	aLo := (math.FMA(-aHi, W, pHi) + pLo) / W
+	return (sumsq.S - aHi) + (sumsq.C - aLo)
+}
+
+// SampleVarFromKahanSums converts compensated Σx and Σx² over n
+// observations into the unbiased sample variance; it returns (0, false)
+// for n < 2. This is the numerically robust replacement for the plain
+// (Σx² − (Σx)²/n)/(n−1) form: the clamp at 0 remains as a guard, but
+// with compensated sums it only absorbs rounding on exactly-constant
+// data instead of swallowing real variance.
+func SampleVarFromKahanSums(sum, sumsq Kahan, n int) (float64, bool) {
+	if n < 2 {
+		return 0, false
+	}
+	v := KahanCenteredSumSq(sum, sumsq, float64(n)) / float64(n-1)
+	if v < 0 {
+		v = 0
+	}
+	return v, true
+}

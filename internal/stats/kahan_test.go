@@ -1,0 +1,122 @@
+package stats
+
+import (
+	"math"
+	"testing"
+)
+
+func TestKahanNeumaierClassic(t *testing.T) {
+	// The classic Neumaier sequence: plain float64 summation returns 0.
+	var k Kahan
+	for _, x := range []float64{1, 1e100, 1, -1e100} {
+		k.Add(x)
+	}
+	if got := k.Sum(); got != 2 {
+		t.Fatalf("Sum = %v, want 2", got)
+	}
+}
+
+func TestKahanAddProductExact(t *testing.T) {
+	// (1+2^-30)² = 1 + 2^-29 + 2^-60: the tail term is far below the ulp
+	// of the head, so only an FMA-split product preserves it.
+	x := 1 + math.Ldexp(1, -30)
+	var k Kahan
+	k.AddProduct(x, x)
+	k.Add(-1)
+	k.Add(-math.Ldexp(1, -29))
+	if got, want := k.Sum(), math.Ldexp(1, -60); got != want {
+		t.Fatalf("residual = %g, want %g", got, want)
+	}
+}
+
+func TestKahanAddSubRoundTrip(t *testing.T) {
+	var a, b Kahan
+	for i := 0; i < 1000; i++ {
+		a.Add(1e9 + float64(i))
+		b.Add(float64(i) * 1e-9)
+	}
+	c := a
+	c.AddKahan(b)
+	c.SubKahan(b)
+	if got, want := c.Sum(), a.Sum(); math.Abs(got-want) > 1e-6 {
+		t.Fatalf("round trip drifted: %v vs %v", got, want)
+	}
+}
+
+// TestSampleVarLargeMeanRobustness is the satellite's numerical
+// regression: samples at mean ~1e9 with unit variance. The plain
+// (Σx² − (Σx)²/n)/(n−1) form loses the entire signal to cancellation
+// (ulp of Σx² ≈ 1e22/2^52 ≈ 2000 ≫ the variance) and goes negative —
+// then clamps to zero. The compensated form must match a two-pass
+// reference to high relative accuracy and stay strictly positive.
+func TestSampleVarLargeMeanRobustness(t *testing.T) {
+	rng := NewRNG(11)
+	const n = 10_000
+	xs := make([]float64, n)
+	var sum, sumsq Kahan
+	var plainSum, plainSumsq float64
+	for i := range xs {
+		x := 1e9 + rng.NormFloat64()
+		xs[i] = x
+		sum.Add(x)
+		sumsq.AddProduct(x, x)
+		plainSum += x
+		plainSumsq += x * x
+	}
+	// Two-pass reference: centered squares have magnitude ~1, no
+	// cancellation.
+	mean := sum.Sum() / n
+	var cs Kahan
+	for _, x := range xs {
+		d := x - mean
+		cs.AddProduct(d, d)
+	}
+	want := cs.Sum() / (n - 1)
+
+	got, ok := SampleVarFromKahanSums(sum, sumsq, n)
+	if !ok {
+		t.Fatal("SampleVarFromKahanSums returned !ok")
+	}
+	if got <= 0.5 {
+		t.Fatalf("compensated variance = %v, want ≈ %v (clamped away?)", got, want)
+	}
+	if rel := math.Abs(got-want) / want; rel > 1e-9 {
+		t.Fatalf("compensated variance = %v, two-pass reference %v (rel err %v)", got, want, rel)
+	}
+
+	// Document why this test exists: the plain form really does fail.
+	plain := (plainSumsq - plainSum*plainSum/n) / (n - 1)
+	if math.Abs(plain-want)/want < 0.01 {
+		t.Logf("note: plain form happened to survive on this seed (got %v)", plain)
+	}
+}
+
+func TestSampleVarFromKahanSumsSmallN(t *testing.T) {
+	var sum, sumsq Kahan
+	sum.Add(3)
+	sumsq.AddProduct(3, 3)
+	if _, ok := SampleVarFromKahanSums(sum, sumsq, 1); ok {
+		t.Fatal("n=1 must report !ok")
+	}
+	if v, ok := SampleVarFromKahanSums(Kahan{}, Kahan{}, 0); ok || v != 0 {
+		t.Fatalf("n=0: got (%v, %v)", v, ok)
+	}
+}
+
+func TestKahanCenteredSumSqConstantData(t *testing.T) {
+	// Exactly constant data: the centered sum of squares is exactly zero
+	// in the compensated form (heads cancel exactly, tails too).
+	var sum, sumsq Kahan
+	const c = 123456.789
+	for i := 0; i < 1000; i++ {
+		sum.Add(c)
+		sumsq.AddProduct(c, c)
+	}
+	v, ok := SampleVarFromKahanSums(sum, sumsq, 1000)
+	if !ok {
+		t.Fatal("!ok")
+	}
+	if v > 1e-12 {
+		t.Fatalf("constant data variance = %v, want ~0", v)
+	}
+}
