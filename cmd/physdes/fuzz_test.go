@@ -1,0 +1,42 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"physdes"
+)
+
+// fuzzCat is built once: catalog construction dominates the per-input cost
+// and carries no mutable state the loader could corrupt.
+var fuzzCat = physdes.TPCDCatalog(0.01)
+
+// FuzzLoadWorkloadFile drives the -workload loaders (the .jsonl store path
+// and the plain-SQL path) with arbitrary file contents. The contract under
+// test: malformed input must surface as an error, never as a panic — the
+// CLI feeds these loaders user-supplied files.
+func FuzzLoadWorkloadFile(f *testing.F) {
+	f.Add([]byte(`{"id":0,"template":1,"sql":"SELECT c_name FROM customer WHERE c_custkey = 5"}`), true)
+	f.Add([]byte(`{"id":0,"template":`), true)
+	f.Add([]byte(`{"id":-9,"sql":17}`+"\n"+`garbage`), true)
+	f.Add([]byte("SELECT c_name FROM customer WHERE c_custkey = 5"), false)
+	f.Add([]byte("SELECT a FROM nosuchtable;\nDELETE FROM customer"), false)
+	f.Add([]byte("-- comment only\n\n"), false)
+	f.Add([]byte("SELECT ((((((("), false)
+	f.Add([]byte{0xff, 0xfe, 0x00, 0x27}, false)
+	f.Fuzz(func(t *testing.T, data []byte, jsonl bool) {
+		name := "w.sql"
+		if jsonl {
+			name = "w.jsonl"
+		}
+		path := filepath.Join(t.TempDir(), name)
+		if err := os.WriteFile(path, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		w, err := loadWorkloadFile(fuzzCat, path)
+		if err == nil && w == nil {
+			t.Fatal("loadWorkloadFile returned neither a workload nor an error")
+		}
+	})
+}

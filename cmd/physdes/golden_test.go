@@ -1,0 +1,167 @@
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"io"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"physdes"
+)
+
+var update = flag.Bool("update", false, "rewrite the golden files")
+
+// captureStdout redirects os.Stdout around fn and returns what it printed.
+func captureStdout(t *testing.T, fn func()) string {
+	t.Helper()
+	old := os.Stdout
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = w
+	done := make(chan string, 1)
+	go func() {
+		b, _ := io.ReadAll(r)
+		done <- string(b)
+	}()
+	defer func() {
+		os.Stdout = old
+	}()
+	fn()
+	w.Close()
+	os.Stdout = old
+	return <-done
+}
+
+// checkGolden byte-compares got against testdata/<name>, rewriting it
+// under -update.
+func checkGolden(t *testing.T, goldenPath, got string) {
+	t.Helper()
+	if *update {
+		if err := os.WriteFile(goldenPath, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(goldenPath)
+	if err != nil {
+		t.Fatalf("missing golden file (run with -update to create): %v", err)
+	}
+	if got != string(want) {
+		t.Errorf("output diverged from %s\n--- got ---\n%s\n--- want ---\n%s", goldenPath, got, want)
+	}
+}
+
+// writeConfigJSON marshals a configuration the same way `tune -out` does.
+func writeConfigJSON(t *testing.T, path string, cfg *physdes.Configuration) {
+	t.Helper()
+	data, err := json.MarshalIndent(cfg, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// goldenDir resolves testdata/ before the test chdirs into its scratch
+// directory.
+func goldenDir(t *testing.T) string {
+	t.Helper()
+	wd, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := filepath.Join(wd, "testdata")
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	return dir
+}
+
+// The compare subcommand's report — winner, Pr(CS), call accounting and
+// the migration diff — is part of the tool's scripted interface: a fixed
+// seed must reproduce it byte for byte, including the JSON configuration
+// round-trip through -a/-b.
+func TestCompareGolden(t *testing.T) {
+	golden := filepath.Join(goldenDir(t), "compare.golden")
+	t.Chdir(t.TempDir())
+
+	cur := physdes.NewConfiguration("current",
+		physdes.NewIndex("lineitem", []string{"l_shipdate"}))
+	prop := physdes.NewConfiguration("proposed",
+		physdes.NewIndex("lineitem", []string{"l_partkey"}, "l_quantity"),
+		physdes.NewIndex("lineitem", []string{"l_orderkey"}),
+		physdes.NewIndex("orders", []string{"o_custkey"}))
+	writeConfigJSON(t, "a.json", cur)
+	writeConfigJSON(t, "b.json", prop)
+
+	out := captureStdout(t, func() {
+		err := cmdCompare([]string{
+			"-db", "tpcd", "-n", "300", "-seed", "1", "-parallelism", "1",
+			"-a", "a.json", "-b", "b.json",
+		})
+		if err != nil {
+			t.Error(err)
+		}
+	})
+	checkGolden(t, golden, out)
+}
+
+// Same contract for a workload loaded from a .jsonl table instead of
+// generated in-process.
+func TestCompareWorkloadFileGolden(t *testing.T) {
+	golden := filepath.Join(goldenDir(t), "compare_workload.golden")
+	t.Chdir(t.TempDir())
+
+	cat := physdes.TPCDCatalog(1)
+	w, err := physdes.GenTPCD(cat, 120, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := physdes.SaveWorkload(w, "trace.jsonl"); err != nil {
+		t.Fatal(err)
+	}
+	writeConfigJSON(t, "a.json", physdes.NewConfiguration("current"))
+	writeConfigJSON(t, "b.json", physdes.NewConfiguration("proposed",
+		physdes.NewIndex("lineitem", []string{"l_partkey"}, "l_quantity")))
+
+	out := captureStdout(t, func() {
+		err := cmdCompare([]string{
+			"-db", "tpcd", "-seed", "2", "-parallelism", "1",
+			"-workload", "trace.jsonl",
+			"-a", "a.json", "-b", "b.json",
+		})
+		if err != nil {
+			t.Error(err)
+		}
+	})
+	checkGolden(t, golden, out)
+}
+
+// The explain subcommand renders the cost model's plan; the rendering —
+// operator tree, cardinalities, costs — is byte-stable for a fixed
+// statement, both under the empty configuration and under a JSON
+// configuration loaded from disk.
+func TestExplainGolden(t *testing.T) {
+	golden := filepath.Join(goldenDir(t), "explain.golden")
+	t.Chdir(t.TempDir())
+
+	writeConfigJSON(t, "rec.json", physdes.NewConfiguration("rec",
+		physdes.NewIndex("lineitem", []string{"l_partkey"}, "l_quantity")))
+
+	out := captureStdout(t, func() {
+		err := cmdExplain([]string{
+			"-db", "tpcd",
+			"-q", "SELECT l_quantity FROM lineitem WHERE l_partkey = 1500",
+			"-config", "rec.json",
+		})
+		if err != nil {
+			t.Error(err)
+		}
+	})
+	checkGolden(t, golden, out)
+}

@@ -7,6 +7,7 @@
 //	physdes select  -db tpcd|crm -n 13000 -k 50 [-alpha .9] [-delta 0]
 //	                [-scheme delta|independent] [-strat none|progressive|fine]
 //	                [-conservative] [-trace events.jsonl] [-metrics] [-seed 1]
+//	                [-timeout 30s] [-max-retries 3]
 //	physdes explore -db tpcd|crm -n 2600 -k 20 [-seed 1]
 //
 // gen writes a workload table to disk (the Section 5 preprocessing format);
@@ -20,6 +21,7 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -66,7 +68,8 @@ func usage() {
   physdes gen     -db tpcd|crm -n N -seed S -out FILE
   physdes select  -db tpcd|crm -n N -k K [-alpha A] [-delta D]
                   [-scheme delta|independent] [-strat none|progressive|fine]
-                  [-conservative] [-trace FILE] [-metrics] [-parallelism P] [-seed S]
+                  [-conservative] [-trace FILE] [-metrics] [-parallelism P]
+                  [-timeout DUR] [-max-retries R] [-seed S]
   physdes explore -db tpcd|crm -n N -k K [-trace FILE] [-metrics] [-parallelism P] [-seed S]
   physdes explain -db tpcd|crm -q "SELECT ..." [-config rec.json]
   physdes tune    -db tpcd|crm -n N [-mode sampled|exhaustive] [-max M]
@@ -385,6 +388,8 @@ func cmdSelect(args []string, explore bool) error {
 	traceFile := fs.String("trace", "", "write structured JSONL selection events to this file")
 	metrics := fs.Bool("metrics", false, "print the metrics snapshot (Prometheus text format) after the run")
 	parallelism := fs.Int("parallelism", 0, "what-if worker pool size (0: all cores, 1: serial; the selection is bit-identical at every setting)")
+	timeout := fs.Duration("timeout", 0, "abort the selection after this wall-clock duration (0: no limit)")
+	maxRetries := fs.Int("max-retries", 0, "re-attempt failed what-if probes this many times (fallible oracles only)")
 	seed := fs.Uint64("seed", 1, "random seed")
 	fs.Parse(args)
 
@@ -449,13 +454,23 @@ func cmdSelect(args []string, explore bool) error {
 		o.Tracer = physdes.NewTracer(f)
 	}
 
+	o.MaxRetries = *maxRetries
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+
 	var sel *physdes.Selection
 	if explore {
-		sel, err = physdes.SelectTraced(opt, w, configs, o)
-	} else {
-		sel, err = physdes.Select(opt, w, configs, o)
+		o.TracePrCS = true
 	}
+	sel, err = physdes.SelectCtx(ctx, opt, w, configs, o)
 	if err != nil {
+		if ctx.Err() != nil {
+			return fmt.Errorf("selection aborted by -timeout %v: %w", *timeout, err)
+		}
 		return err
 	}
 	if o.Tracer != nil {

@@ -64,3 +64,69 @@ func TestPrCSStatisticalGuarantee(t *testing.T) {
 			rate, floor)
 	}
 }
+
+// TestPrCSStatisticalGuaranteeConservative pins the same lower bound for
+// Section 6's conservative mode: with the σ²_max variance bound and the
+// modified Cochran sample-size floor in force, the observed correct-
+// selection rate must also stay above α − 3·stderr. Conservative mode can
+// only raise the real selection probability (it inflates the variance
+// estimate and delays termination), so the floor is identical; the test
+// exists because this path has its own machinery — interval derivation,
+// the DP bound, the Equation 9 gate — any of which could silently break
+// the guarantee.
+func TestPrCSStatisticalGuaranteeConservative(t *testing.T) {
+	if testing.Short() {
+		t.Skip("Monte-Carlo harness skipped in -short mode")
+	}
+	const (
+		trials = 200
+		alpha  = 0.9
+	)
+	opt, w, space := scenario(t, 300, 3, 23)
+	truth := exactBest(opt, w, space)
+	m := workload.ComputeCostMatrix(opt, w, space)
+	bestCost := m.TotalCost(truth)
+	for j := range space {
+		if j == truth {
+			continue
+		}
+		if gap := (m.TotalCost(j) - bestCost) / bestCost; gap < 0.01 {
+			t.Fatalf("fixture has a near-tie: config %d within %.2f%% of best", j, 100*gap)
+		}
+	}
+
+	correct := 0
+	var sampledTotal int64
+	for i := 0; i < trials; i++ {
+		o := DefaultOptions(uint64(5000 + i))
+		o.Alpha = alpha
+		o.Conservative = true
+		sel, err := Select(opt, w, space, o)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if sel.BestIndex == truth {
+			correct++
+		}
+		if sel.PrCS < alpha {
+			t.Errorf("trial %d terminated with Pr(CS)=%v < α=%v", i, sel.PrCS, alpha)
+		}
+		if sel.CLTMinSamples > 0 && sel.SampledQueries < sel.CLTMinSamples && sel.SampledQueries < w.Size() {
+			t.Errorf("trial %d terminated at %d samples, below the Equation 9 floor %d",
+				i, sel.SampledQueries, sel.CLTMinSamples)
+		}
+		if sel.VarianceBound <= 0 {
+			t.Errorf("trial %d reported no σ²_max bound in conservative mode", i)
+		}
+		sampledTotal += int64(sel.SampledQueries)
+	}
+	rate := float64(correct) / trials
+	stderr := math.Sqrt(alpha * (1 - alpha) / trials)
+	floor := alpha - 3*stderr
+	t.Logf("conservative correct-selection rate %.3f over %d trials (floor %.4f, mean sampled %.0f)",
+		rate, trials, floor, float64(sampledTotal)/trials)
+	if rate < floor {
+		t.Errorf("conservative correct-selection rate %.3f < %.4f = α − 3·stderr: the Section 6 guarantee regressed",
+			rate, floor)
+	}
+}

@@ -11,6 +11,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"runtime"
@@ -19,6 +20,7 @@ import (
 	"physdes/internal/obs"
 	"physdes/internal/optimizer"
 	"physdes/internal/physical"
+	"physdes/internal/resilience"
 	"physdes/internal/sampling"
 	"physdes/internal/stats"
 	"physdes/internal/workload"
@@ -83,6 +85,34 @@ type Options struct {
 	// exports the σ²_max DP timings (a package-level hook in
 	// internal/bounds).
 	Metrics *obs.Registry
+
+	// MaxRetries re-attempts failed what-if probes (only meaningful when
+	// the oracle is fallible — a remote service, or a fault-injection
+	// decorator installed via WrapOracle). 0 disables retries.
+	MaxRetries int
+	// CallBudgetMS rejects probes whose virtual latency (reported through
+	// resilience.TimedOracle) exceeds the budget; rejected probes are
+	// retried like transient faults. 0 disables the budget.
+	CallBudgetMS float64
+	// ErrorBudget caps how many probes may degrade before the run aborts
+	// with resilience.ErrBudgetExhausted (<= 0: unlimited).
+	ErrorBudget int
+	// Degrade selects what happens to a probe that stays failed after
+	// MaxRetries: resilience.Fail aborts the run (default), resilience.Skip
+	// drops the query and reweights its stratum, resilience.Conservative
+	// substitutes the Section 6 upper interval endpoint (requires
+	// Conservative mode, which derives the intervals).
+	Degrade resilience.Policy
+	// WrapOracle, when non-nil, decorates the live oracle before the
+	// resilience layer is applied — the seam the fault-injection harness
+	// (internal/faultinject) uses to exercise failure paths end-to-end.
+	WrapOracle func(sampling.Oracle) sampling.Oracle
+}
+
+// resilient reports whether any resilience option is active, i.e. the
+// oracle must be wrapped.
+func (o Options) resilient() bool {
+	return o.MaxRetries > 0 || o.CallBudgetMS > 0 || o.ErrorBudget > 0 || o.Degrade != resilience.Fail
 }
 
 func (o Options) withDefaults() Options {
@@ -143,6 +173,13 @@ type Selection struct {
 	// VarianceBound is the σ²_max upper bound applied in conservative
 	// mode (0 otherwise).
 	VarianceBound float64
+	// DegradedQueries counts workload statements dropped by the
+	// skip-and-reweight degradation policy (0 with a healthy oracle).
+	DegradedQueries int
+	// OracleRetries and OracleFaults report the resilience layer's
+	// accounting: re-attempted probes and failed probe attempts (0 when no
+	// resilience option is active).
+	OracleRetries, OracleFaults int64
 	// PrCSTrace, when tracing, holds the Pr(CS) evolution.
 	PrCSTrace []float64
 }
@@ -175,12 +212,25 @@ func DefaultOptions(seed uint64) Options {
 // for the Pr(CS) trace, Tracer for structured events, Metrics for the
 // counter registry — all three compose.
 func Select(opt *optimizer.Optimizer, w *workload.Workload, configs []*physical.Configuration, o Options) (*Selection, error) {
+	return SelectCtx(context.Background(), opt, w, configs, o)
+}
+
+// SelectCtx is Select with cancellation and oracle resilience: ctx aborts
+// the run between rounds and scheduled probes (returning the context
+// error), and the MaxRetries / CallBudgetMS / ErrorBudget / Degrade
+// options harden a fallible oracle behind the resilience layer. For a fixed
+// Seed the selection stays bit-identical to Select whenever ctx never fires
+// and the oracle never fails.
+func SelectCtx(ctx context.Context, opt *optimizer.Optimizer, w *workload.Workload, configs []*physical.Configuration, o Options) (*Selection, error) {
 	o = o.withDefaults()
 	if w == nil || w.Size() == 0 {
 		return nil, errors.New("core: empty workload")
 	}
 	if len(configs) < 2 {
 		return nil, errors.New("core: need at least two configurations")
+	}
+	if o.Degrade == resilience.Conservative && !o.Conservative {
+		return nil, errors.New("core: Degrade=Conservative requires Conservative mode (it substitutes the Section 6 interval endpoints)")
 	}
 	// Account calls from zero for this selection.
 	opt.ResetCalls()
@@ -197,7 +247,10 @@ func Select(opt *optimizer.Optimizer, w *workload.Workload, configs []*physical.
 		obs.KV{Key: "delta", Value: o.Delta},
 		obs.KV{Key: "conservative", Value: o.Conservative})
 
-	oracle := sampling.NewLiveOracle(opt, w, configs)
+	var oracle sampling.Oracle = sampling.NewLiveOracle(opt, w, configs)
+	if o.WrapOracle != nil {
+		oracle = o.WrapOracle(oracle)
+	}
 	sOpts := sampling.Options{
 		Scheme:               o.Scheme,
 		Strat:                o.Strat,
@@ -208,6 +261,7 @@ func Select(opt *optimizer.Optimizer, w *workload.Workload, configs []*physical.
 		EliminationThreshold: o.EliminationThreshold,
 		MaxCalls:             o.MaxCalls,
 		Parallelism:          o.Parallelism,
+		Ctx:                  ctx,
 		RNG:                  stats.NewRNG(o.Seed),
 		TemplateIndex:        w.TemplateIndexOf(),
 		TemplateCount:        w.NumTemplates(),
@@ -224,14 +278,39 @@ func Select(opt *optimizer.Optimizer, w *workload.Workload, configs []*physical.
 		}
 	}
 
+	var ivs []bounds.Interval
 	if o.Conservative {
-		if err := applyConservative(opt, w, configs, o, &sOpts, sel); err != nil {
+		var err error
+		if ivs, err = applyConservative(opt, w, configs, o, &sOpts, sel); err != nil {
 			return nil, err
 		}
 	}
 
+	var hardened *resilience.Oracle
+	if o.resilient() {
+		rOpts := resilience.Options{
+			MaxRetries:   o.MaxRetries,
+			Seed:         o.Seed,
+			Policy:       o.Degrade,
+			ErrorBudget:  o.ErrorBudget,
+			CallBudgetMS: o.CallBudgetMS,
+			Metrics:      o.Metrics,
+		}
+		if o.Degrade == resilience.Conservative {
+			// A degraded probe is answered with the query's upper cost
+			// interval endpoint: substitutions only inflate apparent costs,
+			// so Pr(CS) stays a valid lower bound.
+			rOpts.Fallback = func(i, j int) float64 { return ivs[i].Hi }
+		}
+		hardened = resilience.Wrap(oracle, rOpts)
+		oracle = hardened
+	}
+
 	res, err := sampling.Run(oracle, sOpts)
 	if err != nil {
+		if ctx.Err() != nil {
+			o.Metrics.Counter("select_cancelled_total").Inc()
+		}
 		return nil, fmt.Errorf("core: %w", err)
 	}
 
@@ -243,7 +322,18 @@ func Select(opt *optimizer.Optimizer, w *workload.Workload, configs []*physical.
 	sel.Eliminated = res.Eliminated
 	sel.Strata = res.Strata
 	sel.Splits = res.Splits
+	sel.DegradedQueries = res.DegradedQueries
 	sel.PrCSTrace = res.PrCSTrace
+	if hardened != nil {
+		st := hardened.Stats()
+		sel.OracleRetries = st.Retries
+		sel.OracleFaults = st.Faults
+		if o.Degrade == resilience.Conservative {
+			// Substituted probes never reach the sampler as skips; surface
+			// them through the same field so callers see the degradation.
+			sel.DegradedQueries += int(st.Degraded)
+		}
+	}
 
 	span.End(
 		obs.KV{Key: "best", Value: sel.BestIndex},
@@ -262,8 +352,10 @@ func SelectTraced(opt *optimizer.Optimizer, w *workload.Workload, configs []*phy
 
 // applyConservative derives Section 6 bounds and wires them into the
 // sampling options: the σ²_max upper bound replaces smaller sample
-// variances, and Equation 9's sample-size floor gates termination.
-func applyConservative(opt *optimizer.Optimizer, w *workload.Workload, configs []*physical.Configuration, o Options, sOpts *sampling.Options, sel *Selection) error {
+// variances, and Equation 9's sample-size floor gates termination. The
+// derived per-query intervals are returned so the resilience layer can use
+// their upper endpoints as conservative fallback costs.
+func applyConservative(opt *optimizer.Optimizer, w *workload.Workload, configs []*physical.Configuration, o Options, sOpts *sampling.Options, sel *Selection) ([]bounds.Interval, error) {
 	if o.Metrics != nil {
 		bounds.SetMetrics(o.Metrics)
 	}
@@ -290,7 +382,7 @@ func applyConservative(opt *optimizer.Optimizer, w *workload.Workload, configs [
 	}
 	cltMin, err := bounds.CLTMinSamples(ivs, o.Rho)
 	if err != nil {
-		return fmt.Errorf("core: conservative bounds: %w", err)
+		return nil, fmt.Errorf("core: conservative bounds: %w", err)
 	}
 	sel.CLTMinSamples = cltMin
 	sel.OptimizerCalls = opt.Calls() // bound-derivation calls so far
@@ -310,5 +402,5 @@ func applyConservative(opt *optimizer.Optimizer, w *workload.Workload, configs [
 		return bound, true
 	}
 	sOpts.MinSamples = cltMin
-	return nil
+	return ivs, nil
 }

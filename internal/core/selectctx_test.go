@@ -1,0 +1,142 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"reflect"
+	"testing"
+
+	"physdes/internal/faultinject"
+	"physdes/internal/obs"
+	"physdes/internal/resilience"
+	"physdes/internal/sampling"
+)
+
+// SelectCtx with a background context and no resilience options must be
+// byte-identical to Select, and so must the full decorator stack at fault
+// rate zero, at every parallelism level.
+func TestSelectCtxByteIdenticalToSelect(t *testing.T) {
+	opt, w, space := scenario(t, 400, 3, 4)
+	o := DefaultOptions(11)
+	o.Parallelism = 1
+	want, err := Select(opt, w, space, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range []int{1, 4, 8} {
+		oc := o
+		oc.Parallelism = p
+		oc.MaxRetries = 3
+		oc.Degrade = resilience.Skip
+		oc.WrapOracle = func(inner sampling.Oracle) sampling.Oracle {
+			return faultinject.New(inner, faultinject.Options{Seed: 33}) // all rates zero
+		}
+		got, err := SelectCtx(context.Background(), opt, w, space, oc)
+		if err != nil {
+			t.Fatalf("parallelism %d: %v", p, err)
+		}
+		// The resilience accounting fields are zero on a clean oracle, so
+		// the whole report must match.
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("parallelism %d: SelectCtx diverged from Select\ngot  %+v\nwant %+v", p, got, want)
+		}
+	}
+}
+
+// A cancelled context aborts the run with the context error and bumps
+// select_cancelled_total.
+func TestSelectCtxCancelled(t *testing.T) {
+	opt, w, space := scenario(t, 200, 3, 5)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	reg := obs.NewRegistry()
+	o := DefaultOptions(3)
+	o.Metrics = reg
+	_, err := SelectCtx(ctx, opt, w, space, o)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if got := reg.Snapshot().Counters["select_cancelled_total"]; got != 1 {
+		t.Errorf("select_cancelled_total = %d, want 1", got)
+	}
+}
+
+// Injected transient faults are retried and, when persistent, degraded by
+// skip-and-reweight; the accounting surfaces on the Selection.
+func TestSelectCtxSkipDegradation(t *testing.T) {
+	opt, w, space := scenario(t, 400, 3, 6)
+	reg := obs.NewRegistry()
+	o := DefaultOptions(9)
+	o.Parallelism = 1
+	o.MaxRetries = 2
+	o.Degrade = resilience.Skip
+	o.Metrics = reg
+	o.WrapOracle = func(inner sampling.Oracle) sampling.Oracle {
+		return faultinject.New(inner, faultinject.Options{Seed: 17, TransientRate: 0.2})
+	}
+	sel, err := SelectCtx(context.Background(), opt, w, space, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sel.OracleFaults == 0 || sel.OracleRetries == 0 {
+		t.Errorf("expected faults and retries under 20%% injection, got %d/%d", sel.OracleFaults, sel.OracleRetries)
+	}
+	snap := reg.Snapshot()
+	if snap.Counters["oracle_retries_total"] != sel.OracleRetries {
+		t.Errorf("oracle_retries_total = %d, want %d", snap.Counters["oracle_retries_total"], sel.OracleRetries)
+	}
+	if snap.Counters["oracle_faults_total"] != sel.OracleFaults {
+		t.Errorf("oracle_faults_total = %d, want %d", snap.Counters["oracle_faults_total"], sel.OracleFaults)
+	}
+}
+
+// Degrade=Conservative without Conservative mode is a configuration error
+// (no intervals to substitute).
+func TestSelectCtxConservativeDegradeRequiresConservativeMode(t *testing.T) {
+	opt, w, space := scenario(t, 100, 3, 7)
+	o := DefaultOptions(3)
+	o.Degrade = resilience.Conservative
+	if _, err := SelectCtx(context.Background(), opt, w, space, o); err == nil {
+		t.Fatal("want configuration error")
+	}
+}
+
+// Conservative degradation answers broken probes with the Section 6 upper
+// interval endpoint; the run completes and reports the substitutions.
+func TestSelectCtxConservativeDegradation(t *testing.T) {
+	opt, w, space := scenario(t, 300, 3, 8)
+	o := DefaultOptions(5)
+	o.Parallelism = 1
+	o.Conservative = true
+	o.Degrade = resilience.Conservative
+	o.MaxRetries = 1
+	o.WrapOracle = func(inner sampling.Oracle) sampling.Oracle {
+		return faultinject.New(inner, faultinject.Options{Seed: 23, PermanentRate: 0.02})
+	}
+	sel, err := SelectCtx(context.Background(), opt, w, space, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sel.DegradedQueries == 0 {
+		t.Error("expected substituted probes under 2% permanent faults")
+	}
+	if sel.VarianceBound <= 0 {
+		t.Error("conservative mode should report a variance bound")
+	}
+}
+
+// The error budget turns excessive degradation into a hard failure.
+func TestSelectCtxErrorBudgetExhaustion(t *testing.T) {
+	opt, w, space := scenario(t, 400, 3, 9)
+	o := DefaultOptions(7)
+	o.Parallelism = 1
+	o.Degrade = resilience.Skip
+	o.ErrorBudget = 2
+	o.WrapOracle = func(inner sampling.Oracle) sampling.Oracle {
+		return faultinject.New(inner, faultinject.Options{Seed: 29, TransientRate: 0.5})
+	}
+	_, err := SelectCtx(context.Background(), opt, w, space, o)
+	if !errors.Is(err, resilience.ErrBudgetExhausted) {
+		t.Fatalf("err = %v, want ErrBudgetExhausted", err)
+	}
+}

@@ -1,6 +1,7 @@
 package optimizer
 
 import (
+	"context"
 	"sync/atomic"
 
 	"physdes/internal/par"
@@ -28,6 +29,15 @@ func (o *Optimizer) Batch(reqs []Request, parallelism int) []float64 {
 	return out
 }
 
+// BatchCtx is Batch with cancellation; see BatchIntoCtx.
+func (o *Optimizer) BatchCtx(ctx context.Context, reqs []Request, parallelism int) ([]float64, error) {
+	out := make([]float64, len(reqs))
+	if err := o.BatchIntoCtx(ctx, reqs, out, parallelism); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
 // BatchInto evaluates reqs[i] into out[i] using up to `parallelism`
 // workers (<= 1, or a batch below the inline threshold, evaluates
 // serially). Each request charges exactly one optimizer call, so the call
@@ -36,9 +46,18 @@ func (o *Optimizer) Batch(reqs []Request, parallelism int) []float64 {
 // bit-identical at every parallelism level. Workers only write into their
 // positional slot — order-sensitive reductions belong to the caller.
 func (o *Optimizer) BatchInto(reqs []Request, out []float64, parallelism int) {
+	o.BatchIntoCtx(context.Background(), reqs, out, parallelism)
+}
+
+// BatchIntoCtx is BatchInto with cancellation: once ctx is done no further
+// request is dispatched (in-flight what-if calls run to completion) and
+// the context error is returned — out then holds a mix of computed and
+// untouched slots, and callers must treat the whole batch as abandoned.
+// A nil return means every request was evaluated.
+func (o *Optimizer) BatchIntoCtx(ctx context.Context, reqs []Request, out []float64, parallelism int) error {
 	n := len(reqs)
 	if n == 0 {
-		return
+		return ctx.Err()
 	}
 	if len(out) < n {
 		panic("optimizer: BatchInto output slice shorter than request slice")
@@ -51,15 +70,18 @@ func (o *Optimizer) BatchInto(reqs []Request, out []float64, parallelism int) {
 	}
 	if parallelism <= 1 || n < minParallelBatch {
 		for i, r := range reqs {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
 			out[i] = o.Cost(r.Analysis, r.Config)
 		}
-		return
+		return nil
 	}
 	// claimed tracks pool saturation: batch_inflight is the number of busy
 	// workers at any instant, batch_queue_depth the requests not yet
 	// claimed from the current batch.
 	var claimed atomic.Int64
-	par.For(n, parallelism, func(i int) {
+	err := par.ForCtx(ctx, n, parallelism, func(i int) {
 		if m != nil {
 			m.batchInflight.Add(1)
 			m.batchQueue.Set(float64(n) - float64(claimed.Add(1)))
@@ -72,6 +94,7 @@ func (o *Optimizer) BatchInto(reqs []Request, out []float64, parallelism int) {
 	if m != nil {
 		m.batchQueue.Set(0)
 	}
+	return err
 }
 
 // Batch evaluates every request through the memo table over a bounded
@@ -87,20 +110,29 @@ func (c *Cached) Batch(reqs []Request, parallelism int) []float64 {
 
 // BatchInto is Batch writing into a caller-provided slice.
 func (c *Cached) BatchInto(reqs []Request, out []float64, parallelism int) {
+	c.BatchIntoCtx(context.Background(), reqs, out, parallelism)
+}
+
+// BatchIntoCtx is BatchInto with cancellation; see the uncached
+// Optimizer.BatchIntoCtx for the contract.
+func (c *Cached) BatchIntoCtx(ctx context.Context, reqs []Request, out []float64, parallelism int) error {
 	n := len(reqs)
 	if n == 0 {
-		return
+		return ctx.Err()
 	}
 	if len(out) < n {
 		panic("optimizer: BatchInto output slice shorter than request slice")
 	}
 	if parallelism <= 1 || n < minParallelBatch {
 		for i, r := range reqs {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
 			out[i] = c.Cost(r.Analysis, r.Config)
 		}
-		return
+		return nil
 	}
-	par.For(n, parallelism, func(i int) {
+	return par.ForCtx(ctx, n, parallelism, func(i int) {
 		out[i] = c.Cost(reqs[i].Analysis, reqs[i].Config)
 	})
 }

@@ -8,6 +8,7 @@
 package par
 
 import (
+	"context"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -20,24 +21,60 @@ func Default() int { return runtime.GOMAXPROCS(0) }
 // Indices are claimed from a shared atomic counter, so workers stay busy
 // regardless of per-item skew. With workers <= 1 (or n <= 1) the loop runs
 // inline on the calling goroutine in index order. For returns after every
-// f has returned.
+// f has returned. A panic in any f is re-raised on the calling goroutine
+// after the pool drains, exactly as if the loop had run inline.
 func For(n, workers int, f func(i int)) {
+	ForCtx(context.Background(), n, workers, f)
+}
+
+// ForCtx is For with cancellation: once ctx is done, no further index is
+// claimed (indices already claimed run to completion — f is not
+// interrupted mid-call) and ForCtx returns ctx.Err(). A nil return means
+// ctx was live throughout and every index ran; a non-nil return means the
+// loop may have been cut short. Like For, a panicking f is re-raised on the caller
+// after every in-flight f has returned, so the pool never crashes the
+// process from a worker goroutine and never leaks goroutines.
+func ForCtx(ctx context.Context, n, workers int, f func(i int)) error {
 	if workers > n {
 		workers = n
 	}
 	if workers <= 1 {
 		for i := 0; i < n; i++ {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
 			f(i)
 		}
-		return
+		return nil
 	}
-	var next atomic.Int64
-	var wg sync.WaitGroup
+	var (
+		next     atomic.Int64
+		wg       sync.WaitGroup
+		panicked atomic.Bool
+		panicVal any
+		panicMu  sync.Mutex
+	)
 	wg.Add(workers)
 	for w := 0; w < workers; w++ {
 		go func() {
 			defer wg.Done()
+			// A panicking f must not crash the process from inside the
+			// pool: capture the first panic value and re-raise it on the
+			// caller once every worker has drained.
+			defer func() {
+				if r := recover(); r != nil {
+					panicMu.Lock()
+					if !panicked.Load() {
+						panicked.Store(true)
+						panicVal = r
+					}
+					panicMu.Unlock()
+				}
+			}()
 			for {
+				if panicked.Load() || ctx.Err() != nil {
+					return
+				}
 				i := int(next.Add(1)) - 1
 				if i >= n {
 					return
@@ -47,4 +84,8 @@ func For(n, workers int, f func(i int)) {
 		}()
 	}
 	wg.Wait()
+	if panicked.Load() {
+		panic(panicVal)
+	}
+	return ctx.Err()
 }

@@ -1,8 +1,12 @@
 package par
 
 import (
+	"context"
+	"errors"
+	"runtime"
 	"sync/atomic"
 	"testing"
+	"time"
 )
 
 // TestForCoversEveryIndexOnce checks the pool's one invariant at every
@@ -47,5 +51,116 @@ func TestForSerialOrder(t *testing.T) {
 func TestDefaultPositive(t *testing.T) {
 	if Default() < 1 {
 		t.Errorf("Default() = %d, want >= 1", Default())
+	}
+}
+
+// TestForPropagatesPanic is the regression test for the mid-pool crash: a
+// panic in a worker goroutine used to take down the whole process; it must
+// instead surface on the calling goroutine after the pool drains, with the
+// original panic value intact.
+func TestForPropagatesPanic(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		var ran atomic.Int32
+		func() {
+			defer func() {
+				r := recover()
+				if r == nil {
+					t.Fatalf("workers=%d: panic did not propagate", workers)
+				}
+				if s, ok := r.(string); !ok || s != "boom" {
+					t.Fatalf("workers=%d: panic value %v, want \"boom\"", workers, r)
+				}
+			}()
+			For(50, workers, func(i int) {
+				ran.Add(1)
+				if i == 7 {
+					panic("boom")
+				}
+			})
+			t.Fatalf("workers=%d: For returned normally past a panicking f", workers)
+		}()
+		if ran.Load() == 0 {
+			t.Fatalf("workers=%d: no f ran", workers)
+		}
+	}
+}
+
+// TestForCtxCancellation checks that a cancelled context stops the pool
+// from claiming new indices and is reported, at every pool shape.
+func TestForCtxCancellation(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		ctx, cancel := context.WithCancel(context.Background())
+		var ran atomic.Int32
+		err := ForCtx(ctx, 1000, workers, func(i int) {
+			if ran.Add(1) == 3 {
+				cancel()
+			}
+		})
+		cancel()
+		if err == nil {
+			t.Errorf("workers=%d: ForCtx returned nil after mid-loop cancel", workers)
+		} else if !errors.Is(err, context.Canceled) {
+			t.Errorf("workers=%d: err = %v, want context.Canceled", workers, err)
+		}
+		if n := ran.Load(); n >= 1000 {
+			t.Errorf("workers=%d: all %d indices ran despite cancellation", workers, n)
+		}
+	}
+}
+
+// TestForCtxPreCancelled pins the fast path: a context that is already
+// done runs nothing.
+func TestForCtxPreCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	var ran atomic.Int32
+	if err := ForCtx(ctx, 10, 4, func(i int) { ran.Add(1) }); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if ran.Load() != 0 {
+		t.Errorf("%d indices ran under a pre-cancelled context", ran.Load())
+	}
+}
+
+// TestForCtxComplete checks the nil-error contract when ctx stays live.
+func TestForCtxComplete(t *testing.T) {
+	var ran atomic.Int32
+	if err := ForCtx(context.Background(), 64, 4, func(i int) { ran.Add(1) }); err != nil {
+		t.Fatalf("ForCtx: %v", err)
+	}
+	if ran.Load() != 64 {
+		t.Errorf("ran %d of 64 indices", ran.Load())
+	}
+}
+
+// TestForNoLeakedGoroutines asserts the pool always drains — including
+// after panics and cancellations — so repeated use cannot accumulate
+// goroutines.
+func TestForNoLeakedGoroutines(t *testing.T) {
+	before := runtime.NumGoroutine()
+	for iter := 0; iter < 20; iter++ {
+		func() {
+			defer func() { recover() }()
+			For(100, 8, func(i int) {
+				if i == 13 {
+					panic("leak check")
+				}
+			})
+		}()
+		ctx, cancel := context.WithCancel(context.Background())
+		cancel()
+		ForCtx(ctx, 100, 8, func(i int) {})
+	}
+	// The pool joins its workers before returning, so any residue is a bug;
+	// allow brief scheduler lag before declaring a leak.
+	for i := 0; ; i++ {
+		if runtime.NumGoroutine() <= before {
+			return
+		}
+		if i > 100 {
+			t.Fatalf("goroutines grew from %d to %d after pool churn", before, runtime.NumGoroutine())
+		}
+		runtime.Gosched()
+		time.Sleep(time.Millisecond)
 	}
 }

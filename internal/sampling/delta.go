@@ -1,6 +1,7 @@
 package sampling
 
 import (
+	"errors"
 	"math"
 
 	"physdes/internal/obs"
@@ -34,6 +35,7 @@ type dRow struct {
 // deltaSampler runs Algorithm 1 with Delta Sampling.
 type deltaSampler struct {
 	o    Oracle
+	eo   ErrOracle // non-nil when the oracle's probes can fail
 	opts Options
 	pop  *population
 
@@ -43,6 +45,11 @@ type deltaSampler struct {
 	elimPen    float64 // Σ (1 − Pr(CS)) at elimination time
 
 	strata []*dStratum
+
+	// Skip-and-reweight bookkeeping: queries the oracle degraded out of
+	// the run. tmplDropped renormalizes template weights for Algorithm 2.
+	degraded    int
+	tmplDropped []int
 
 	// Per-template estimator statistics (per configuration), for split
 	// decisions.
@@ -76,6 +83,10 @@ func newDeltaSampler(o Oracle, opts Options) *deltaSampler {
 		tSumsq:     make([][]stats.Kahan, maxInt(opts.TemplateCount, 1)),
 		tCross:     make([][]stats.Kahan, maxInt(opts.TemplateCount, 1)),
 		met:        newSamplerMetrics(opts.Metrics),
+	}
+	if eo, ok := o.(ErrOracle); ok {
+		d.eo = eo
+		d.tmplDropped = make([]int, maxInt(opts.TemplateCount, 1))
 	}
 	for i := range d.alive {
 		d.alive[i] = true
@@ -139,21 +150,58 @@ func (d *deltaSampler) budgetLeft() bool {
 }
 
 // sampleFrom draws the next query of stratum h and folds its costs in.
-func (d *deltaSampler) sampleFrom(h int) bool {
+// The bool reports progress (a query was consumed — sampled or degraded);
+// a non-nil error aborts the run. An oracle asking to skip the query
+// (ErrSkipQuery) degrades instead: the query leaves the stratum and the
+// stratum's Neyman weight renormalizes to the shrunken population.
+func (d *deltaSampler) sampleFrom(h int) (bool, error) {
 	s := d.strata[h]
 	if s.exhausted() || !d.budgetLeft() {
-		return false
+		return false, nil
 	}
 	q := s.order[s.next]
 	s.next++
-	d.fold(h, q, d.evalRow(q))
-	return true
+	costs, err := d.evalRow(q)
+	if err != nil {
+		if errors.Is(err, ErrSkipQuery) {
+			d.dropQuery(s, q)
+			return true, nil
+		}
+		return false, err
+	}
+	d.fold(h, q, costs)
+	return true, nil
+}
+
+// dropQuery removes a degraded query from its stratum: the population
+// size (the stratum weight in every estimator) and the query's template
+// weight (Algorithm 2's split statistics) both shrink by one.
+func (d *deltaSampler) dropQuery(s *dStratum, q int) {
+	s.size--
+	if d.tmplDropped != nil && d.opts.TemplateIndex != nil {
+		d.tmplDropped[d.opts.TemplateIndex[q]]++
+	}
+	d.degraded++
+}
+
+// tmplSize is the template's live population: its full size minus the
+// queries degraded out of the run.
+func (d *deltaSampler) tmplSize(t int) int {
+	sz := d.pop.templateSize(t)
+	if d.tmplDropped != nil {
+		sz -= d.tmplDropped[t]
+	}
+	return sz
 }
 
 // evalRow costs query q under every alive configuration, NaN-marking the
 // eliminated ones. With Parallelism > 1 the row goes through the oracle's
-// batch path; the values are identical either way (pure cost model).
-func (d *deltaSampler) evalRow(q int) []float64 {
+// batch path; the values are identical either way (pure cost model). A
+// fallible oracle's errors surface here: a hard error wins over any skip
+// request in the same row, and a skip request fails the whole row — Delta
+// Sampling shares the row across configurations, so a partial row would
+// corrupt the difference estimator's cross terms.
+func (d *deltaSampler) evalRow(q int) ([]float64, error) {
 	costs := make([]float64, d.k)
 	if d.opts.Parallelism > 1 && d.aliveCount > 1 {
 		pairs := make([]Pair, 0, d.aliveCount)
@@ -165,20 +213,47 @@ func (d *deltaSampler) evalRow(q int) []float64 {
 			}
 		}
 		out := make([]float64, len(pairs))
-		batchCost(d.o, pairs, out, d.opts.Parallelism)
+		if d.eo != nil {
+			errs := make([]error, len(pairs))
+			batchCostErr(d.eo, pairs, out, errs, d.opts.Parallelism)
+			var skip error
+			for _, e := range errs {
+				if e == nil {
+					continue
+				}
+				if errors.Is(e, ErrSkipQuery) {
+					skip = e
+					continue
+				}
+				return nil, e
+			}
+			if skip != nil {
+				return nil, skip
+			}
+		} else {
+			batchCost(d.o, pairs, out, d.opts.Parallelism)
+		}
 		for i, p := range pairs {
 			costs[p.J] = out[i]
 		}
-		return costs
+		return costs, nil
 	}
 	for j := 0; j < d.k; j++ {
 		if !d.alive[j] {
 			costs[j] = math.NaN()
 			continue
 		}
+		if d.eo != nil {
+			c, err := d.eo.CostErr(q, j)
+			if err != nil {
+				return nil, err
+			}
+			costs[j] = c
+			continue
+		}
 		costs[j] = d.o.Cost(q, j)
 	}
-	return costs
+	return costs, nil
 }
 
 // fold records one sampled row of stratum h into the accumulators. The
@@ -477,9 +552,9 @@ func (d *deltaSampler) nextStratum() int {
 }
 
 // maybeSplit runs Algorithm 2 when progressive stratification is enabled.
-func (d *deltaSampler) maybeSplit() {
+func (d *deltaSampler) maybeSplit() error {
 	if d.opts.Strat != Progressive {
-		return
+		return nil
 	}
 	// Constraining pair: the alive configuration with the lowest pairwise
 	// Pr(CS) versus the incumbent (single ranking, Section 5.1's
@@ -495,7 +570,7 @@ func (d *deltaSampler) maybeSplit() {
 		}
 	}
 	if worst < 0 {
-		return
+		return nil
 	}
 
 	// Target variance: the pairwise probability each alive pair must reach
@@ -504,7 +579,7 @@ func (d *deltaSampler) maybeSplit() {
 	gap := d.estimate(worst) - d.estimate(d.best)
 	targetVar := stats.TargetVarianceForPrCS(gap, d.opts.Delta, perPair)
 	if math.IsInf(targetVar, 1) {
-		return
+		return nil
 	}
 
 	sc := &d.split
@@ -549,9 +624,9 @@ func (d *deltaSampler) maybeSplit() {
 	}
 	d.met.splitEvals.Add(int64(evals))
 	if !ok {
-		return
+		return nil
 	}
-	d.applySplit(dec)
+	return d.applySplit(dec)
 }
 
 // stratumTmplStatsInto appends the stratum's per-template difference
@@ -572,14 +647,14 @@ func (d *deltaSampler) stratumTmplStatsInto(buf []tmplStat, s *dStratum, worst i
 		sumsq.SubKahan(d.tCross[t][worst].Scaled(2))
 		m := sum.Sum() / float64(n)
 		v, _ := stats.SampleVarFromKahanSums(sum, sumsq, n)
-		buf = append(buf, tmplStat{t: t, w: d.pop.templateSize(t), m: m, v: v})
+		buf = append(buf, tmplStat{t: t, w: d.tmplSize(t), m: m, v: v})
 	}
 	return buf, true
 }
 
 // applySplit replaces the split stratum with its two children, partitioning
 // the unsampled order and replaying the sampled rows into the right child.
-func (d *deltaSampler) applySplit(dec splitDecision) {
+func (d *deltaSampler) applySplit(dec splitDecision) error {
 	// dec.left aliases the split scratch; copy before retaining it as the
 	// child stratum's template list.
 	dec.left = append([]int(nil), dec.left...)
@@ -598,7 +673,7 @@ func (d *deltaSampler) applySplit(dec splitDecision) {
 	mk := func(tmpls []int) *dStratum {
 		size := 0
 		for _, t := range tmpls {
-			size += d.pop.templateSize(t)
+			size += d.tmplSize(t)
 		}
 		return &dStratum{
 			templates: tmpls,
@@ -664,19 +739,28 @@ func (d *deltaSampler) applySplit(dec splitDecision) {
 	}
 
 	// Algorithm 1, line 8: top the children up to n_min samples each.
+	// want re-clamps every iteration: a degraded query shrinks child.size.
 	for _, child := range []*dStratum{left, right} {
-		want := d.opts.NMin
-		if want > child.size {
-			want = child.size
-		}
-		for child.n < want {
+		for child.n < minInt(d.opts.NMin, child.size) {
 			h := d.indexOf(child)
-			if !d.sampleFrom(h) {
+			progress, err := d.sampleFrom(h)
+			if err != nil {
+				return err
+			}
+			if !progress {
 				break
 			}
 		}
 	}
 	d.chooseBest()
+	return nil
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
 }
 
 func (d *deltaSampler) indexOf(s *dStratum) int {
@@ -694,25 +778,27 @@ func (d *deltaSampler) indexOf(s *dStratum) int {
 // random subset of every stratum instead of completing some strata and
 // leaving others untouched — the latter would bias the estimator
 // systematically across Monte-Carlo runs.
-func (d *deltaSampler) pilot() {
+func (d *deltaSampler) pilot() error {
 	order := d.opts.RNG.Perm(len(d.strata))
 	if d.opts.Parallelism > 1 {
-		d.pilotBatched(order)
-		return
+		return d.pilotBatched(order)
 	}
 	for {
 		progress := false
 		for _, h := range order {
-			want := d.opts.NMin
-			if want > d.strata[h].size {
-				want = d.strata[h].size
+			if err := d.opts.ctxErr(); err != nil {
+				return err
 			}
-			if d.strata[h].n < want && d.sampleFrom(h) {
-				progress = true
+			if d.strata[h].n < minInt(d.opts.NMin, d.strata[h].size) {
+				p, err := d.sampleFrom(h)
+				if err != nil {
+					return err
+				}
+				progress = progress || p
 			}
 		}
 		if !progress {
-			break
+			return nil
 		}
 	}
 }
@@ -723,8 +809,11 @@ func (d *deltaSampler) pilot() {
 // without touching the oracle to precompute the schedule, the schedule's
 // (query × alive configuration) pairs are evaluated in one BatchCost, and
 // the rows are folded serially in schedule order. The resulting sampler
-// state and call accounting are bit-identical to the serial pilot.
-func (d *deltaSampler) pilotBatched(order []int) {
+// state and call accounting are bit-identical to the serial pilot when no
+// probe fails; failed rows degrade per row exactly like the serial path
+// (retries make the call totals diverge between parallelism levels only
+// once real faults occur).
+func (d *deltaSampler) pilotBatched(order []int) error {
 	type slot struct{ h, q int }
 	var schedule []slot
 	calls := d.o.Calls()
@@ -753,6 +842,9 @@ outer:
 			break
 		}
 	}
+	if err := d.opts.ctxErr(); err != nil {
+		return err
+	}
 
 	pairs := make([]Pair, 0, len(schedule)*d.k)
 	for _, sl := range schedule {
@@ -761,17 +853,43 @@ outer:
 		}
 	}
 	out := make([]float64, len(pairs))
-	batchCost(d.o, pairs, out, d.opts.Parallelism)
+	var errs []error
+	if d.eo != nil {
+		errs = make([]error, len(pairs))
+		batchCostErr(d.eo, pairs, out, errs, d.opts.Parallelism)
+	} else {
+		batchCost(d.o, pairs, out, d.opts.Parallelism)
+	}
 	for i, sl := range schedule {
 		d.strata[sl.h].next++
+		if errs != nil {
+			var skip bool
+			for _, e := range errs[i*d.k : (i+1)*d.k] {
+				if e == nil {
+					continue
+				}
+				if errors.Is(e, ErrSkipQuery) {
+					skip = true
+					continue
+				}
+				return e
+			}
+			if skip {
+				d.dropQuery(d.strata[sl.h], sl.q)
+				continue
+			}
+		}
 		d.fold(sl.h, sl.q, out[i*d.k:(i+1)*d.k:(i+1)*d.k])
 	}
+	return nil
 }
 
 // run executes Algorithm 1 and returns the result.
-func (d *deltaSampler) run() *Result {
+func (d *deltaSampler) run() (*Result, error) {
 	tr := d.opts.Tracer
-	d.pilot()
+	if err := d.pilot(); err != nil {
+		return nil, err
+	}
 	d.chooseBest()
 	if tr.Enabled() {
 		tr.Emit("pilot.done",
@@ -786,6 +904,9 @@ func (d *deltaSampler) run() *Result {
 	for {
 		round++
 		d.met.rounds.Inc()
+		if err := d.opts.ctxErr(); err != nil {
+			return nil, err
+		}
 		if tr.Enabled() {
 			tr.Emit("round",
 				obs.KV{Key: "round", Value: round},
@@ -812,9 +933,18 @@ func (d *deltaSampler) run() *Result {
 			}
 		}
 		d.eliminate(pair)
-		d.maybeSplit()
+		if err := d.maybeSplit(); err != nil {
+			return nil, err
+		}
 		h := d.nextStratum()
-		if h < 0 || !d.sampleFrom(h) {
+		if h < 0 {
+			break // exhausted workload
+		}
+		progress, err := d.sampleFrom(h)
+		if err != nil {
+			return nil, err
+		}
+		if !progress {
 			break // exhausted workload or budget
 		}
 		if tr.Enabled() {
@@ -828,19 +958,20 @@ func (d *deltaSampler) run() *Result {
 		p, pair = d.prCS()
 	}
 
-	if d.exhaustedAll() {
+	if d.exhaustedAll() && d.degraded == 0 {
 		p = 1 // full census: the selection is exact
 	}
 	return &Result{
-		Best:           d.best,
-		PrCS:           p,
-		SampledQueries: d.sampled,
-		OptimizerCalls: d.o.Calls(),
-		Eliminated:     d.eliminatedFlags(),
-		Strata:         len(d.strata),
-		Splits:         d.splits,
-		PrCSTrace:      d.trace,
-	}
+		Best:            d.best,
+		PrCS:            p,
+		SampledQueries:  d.sampled,
+		OptimizerCalls:  d.o.Calls(),
+		Eliminated:      d.eliminatedFlags(),
+		Strata:          len(d.strata),
+		Splits:          d.splits,
+		DegradedQueries: d.degraded,
+		PrCSTrace:       d.trace,
+	}, nil
 }
 
 func (d *deltaSampler) exhaustedAll() bool {

@@ -1,6 +1,7 @@
 package sampling
 
 import (
+	"errors"
 	"math"
 
 	"physdes/internal/obs"
@@ -36,6 +37,7 @@ type cfgState struct {
 // configuration the last sample was chosen from, as the paper prescribes).
 type independentSampler struct {
 	o    Oracle
+	eo   ErrOracle // non-nil when the oracle's probes can fail
 	opts Options
 	pop  *population
 
@@ -53,6 +55,7 @@ type independentSampler struct {
 
 	best        int
 	sampled     int
+	degraded    int // probes degraded by skip-and-reweight
 	lastSampled int // configuration index of the last sample
 	met         samplerMetrics
 	trace       []float64
@@ -75,6 +78,9 @@ func newIndependentSampler(o Oracle, opts Options) *independentSampler {
 		tSum:       make([][]stats.Kahan, tc),
 		tSumsq:     make([][]stats.Kahan, tc),
 		met:        newSamplerMetrics(opts.Metrics),
+	}
+	if eo, ok := o.(ErrOracle); ok {
+		s.eo = eo
 	}
 	for j := range s.alive {
 		s.alive[j] = true
@@ -120,16 +126,35 @@ func (s *independentSampler) budgetLeft() bool {
 	return s.o.Calls() < s.opts.MaxCalls
 }
 
-// sampleFrom draws configuration j's next query from its stratum h.
-func (s *independentSampler) sampleFrom(j, h int) bool {
+// sampleFrom draws configuration j's next query from its stratum h. The
+// bool reports progress (a query was consumed — sampled or degraded); a
+// non-nil error aborts the run. A degraded probe (ErrSkipQuery) drops the
+// query from this configuration's stratum only, renormalizing that
+// stratum's weight — the Independent sampler keeps per-configuration
+// stratifications, and a split later regenerates member orders from the
+// full population, giving a transiently-failing query a fresh chance.
+func (s *independentSampler) sampleFrom(j, h int) (bool, error) {
 	st := s.cfg[j].strata[h]
 	if st.exhausted() || !s.budgetLeft() {
-		return false
+		return false, nil
 	}
 	q := st.order[st.next]
 	st.next++
+	if s.eo != nil {
+		c, err := s.eo.CostErr(q, j)
+		if err != nil {
+			if errors.Is(err, ErrSkipQuery) {
+				st.size--
+				s.degraded++
+				return true, nil
+			}
+			return false, err
+		}
+		s.fold(j, h, q, c)
+		return true, nil
+	}
 	s.fold(j, h, q, s.o.Cost(q, j))
-	return true
+	return true, nil
 }
 
 // fold records one sample of configuration j's stratum h. As in the Delta
@@ -343,13 +368,13 @@ func (s *independentSampler) nextSample() (j, h int) {
 
 // maybeSplit runs Algorithm 2 for the configuration of the last sample,
 // against that configuration's own stratification.
-func (s *independentSampler) maybeSplit() {
+func (s *independentSampler) maybeSplit() error {
 	if s.opts.Strat != Progressive {
-		return
+		return nil
 	}
 	ci := s.lastSampled
 	if !s.alive[ci] {
-		return
+		return nil
 	}
 	perPair := 1 - (1-s.opts.Alpha)/float64(maxInt(s.aliveCount-1, 1))
 	// Target variance for configuration ci: half of the pair target against
@@ -370,13 +395,13 @@ func (s *independentSampler) maybeSplit() {
 			}
 		}
 		if other == s.best {
-			return
+			return nil
 		}
 	}
 	gap := math.Abs(s.estimate(other) - s.estimate(s.best))
 	targetVar := stats.TargetVarianceForPrCS(gap, s.opts.Delta, perPair) / 2
 	if math.IsInf(targetVar, 1) {
-		return
+		return nil
 	}
 
 	strata := s.cfg[ci].strata
@@ -417,9 +442,9 @@ func (s *independentSampler) maybeSplit() {
 	}
 	s.met.splitEvals.Add(int64(evals))
 	if !ok {
-		return
+		return nil
 	}
-	s.applySplit(ci, dec)
+	return s.applySplit(ci, dec)
 }
 
 // stratumTmplStatsInto appends the stratum's per-template statistics to
@@ -443,7 +468,7 @@ func (s *independentSampler) stratumTmplStatsInto(buf []tmplStat, st *icStratum,
 // The Independent sampler keeps no per-row history, so each child restarts
 // its accumulators and receives a fresh pilot — a conservative
 // simplification that charges the split's cost explicitly.
-func (s *independentSampler) applySplit(ci int, dec splitDecision) {
+func (s *independentSampler) applySplit(ci int, dec splitDecision) error {
 	// dec.left aliases the split scratch; copy before retaining it as the
 	// child stratum's template list.
 	dec.left = append([]int(nil), dec.left...)
@@ -477,18 +502,20 @@ func (s *independentSampler) applySplit(ci int, dec splitDecision) {
 	}
 
 	for _, child := range []*icStratum{left, right} {
-		want := s.opts.NMin
-		if want > child.size {
-			want = child.size
-		}
 		h := s.stratumIndex(ci, child)
-		for child.n < want {
-			if !s.sampleFrom(ci, h) {
+		// want re-clamps every iteration: a degraded query shrinks child.size.
+		for child.n < minInt(s.opts.NMin, child.size) {
+			progress, err := s.sampleFrom(ci, h)
+			if err != nil {
+				return err
+			}
+			if !progress {
 				break
 			}
 		}
 	}
 	s.chooseBest()
+	return nil
 }
 
 func (s *independentSampler) stratumIndex(ci int, st *icStratum) int {
@@ -503,28 +530,30 @@ func (s *independentSampler) stratumIndex(ci int, st *icStratum) int {
 // pilot runs the pilot phase: round-robin over shuffled (configuration,
 // stratum) slots so a truncated pilot spreads evenly (see the Delta
 // sampler's pilot note).
-func (s *independentSampler) pilot() {
+func (s *independentSampler) pilot() error {
 	order := s.opts.RNG.Perm(s.k)
 	if s.opts.Parallelism > 1 {
-		s.pilotBatched(order)
-		return
+		return s.pilotBatched(order)
 	}
 	for {
 		progress := false
 		for _, j := range order {
+			if err := s.opts.ctxErr(); err != nil {
+				return err
+			}
 			for h := range s.cfg[j].strata {
 				st := s.cfg[j].strata[h]
-				want := s.opts.NMin
-				if want > st.size {
-					want = st.size
-				}
-				if st.n < want && s.sampleFrom(j, h) {
-					progress = true
+				if st.n < minInt(s.opts.NMin, st.size) {
+					p, err := s.sampleFrom(j, h)
+					if err != nil {
+						return err
+					}
+					progress = progress || p
 				}
 			}
 		}
 		if !progress {
-			break
+			return nil
 		}
 	}
 }
@@ -533,8 +562,9 @@ func (s *independentSampler) pilot() {
 // round-robin (one optimizer call per sample, budget-checked per sample)
 // is replayed to precompute the schedule, the schedule evaluates in one
 // BatchCost, and samples fold serially in schedule order — bit-identical
-// state and accounting versus the serial pilot.
-func (s *independentSampler) pilotBatched(order []int) {
+// state and accounting versus the serial pilot when no probe fails;
+// failed slots degrade exactly like the serial path.
+func (s *independentSampler) pilotBatched(order []int) error {
 	type slot struct{ j, h, q int }
 	var schedule []slot
 	calls := s.o.Calls()
@@ -568,21 +598,42 @@ outer:
 		}
 	}
 
+	if err := s.opts.ctxErr(); err != nil {
+		return err
+	}
 	pairs := make([]Pair, len(schedule))
 	for i, sl := range schedule {
 		pairs[i] = Pair{Q: sl.q, J: sl.j}
 	}
 	out := make([]float64, len(pairs))
-	batchCost(s.o, pairs, out, s.opts.Parallelism)
+	var errs []error
+	if s.eo != nil {
+		errs = make([]error, len(pairs))
+		batchCostErr(s.eo, pairs, out, errs, s.opts.Parallelism)
+	} else {
+		batchCost(s.o, pairs, out, s.opts.Parallelism)
+	}
 	for i, sl := range schedule {
-		s.cfg[sl.j].strata[sl.h].next++
+		st := s.cfg[sl.j].strata[sl.h]
+		st.next++
+		if errs != nil && errs[i] != nil {
+			if errors.Is(errs[i], ErrSkipQuery) {
+				st.size--
+				s.degraded++
+				continue
+			}
+			return errs[i]
+		}
 		s.fold(sl.j, sl.h, sl.q, out[i])
 	}
+	return nil
 }
 
-func (s *independentSampler) run() *Result {
+func (s *independentSampler) run() (*Result, error) {
 	tr := s.opts.Tracer
-	s.pilot()
+	if err := s.pilot(); err != nil {
+		return nil, err
+	}
 	s.chooseBest()
 	if tr.Enabled() {
 		tr.Emit("pilot.done",
@@ -596,6 +647,9 @@ func (s *independentSampler) run() *Result {
 	for {
 		round++
 		s.met.rounds.Inc()
+		if err := s.opts.ctxErr(); err != nil {
+			return nil, err
+		}
 		if tr.Enabled() {
 			tr.Emit("round",
 				obs.KV{Key: "round", Value: round},
@@ -620,9 +674,18 @@ func (s *independentSampler) run() *Result {
 			}
 		}
 		s.eliminate(pair)
-		s.maybeSplit()
+		if err := s.maybeSplit(); err != nil {
+			return nil, err
+		}
 		j, h := s.nextSample()
-		if j < 0 || !s.sampleFrom(j, h) {
+		if j < 0 {
+			break
+		}
+		progress, err := s.sampleFrom(j, h)
+		if err != nil {
+			return nil, err
+		}
+		if !progress {
 			break
 		}
 		if tr.Enabled() {
@@ -634,7 +697,7 @@ func (s *independentSampler) run() *Result {
 		p, pair = s.prCS()
 	}
 
-	if s.exhaustedAll() {
+	if s.exhaustedAll() && s.degraded == 0 {
 		p = 1
 	}
 	strataCount, splits := 0, 0
@@ -645,15 +708,16 @@ func (s *independentSampler) run() *Result {
 		splits += s.cfg[j].splits
 	}
 	return &Result{
-		Best:           s.best,
-		PrCS:           p,
-		SampledQueries: s.sampled,
-		OptimizerCalls: s.o.Calls(),
-		Eliminated:     s.eliminatedFlags(),
-		Strata:         strataCount,
-		Splits:         splits,
-		PrCSTrace:      s.trace,
-	}
+		Best:            s.best,
+		PrCS:            p,
+		SampledQueries:  s.sampled,
+		OptimizerCalls:  s.o.Calls(),
+		Eliminated:      s.eliminatedFlags(),
+		Strata:          strataCount,
+		Splits:          splits,
+		DegradedQueries: s.degraded,
+		PrCSTrace:       s.trace,
+	}, nil
 }
 
 func (s *independentSampler) exhaustedAll() bool {

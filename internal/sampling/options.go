@@ -1,6 +1,7 @@
 package sampling
 
 import (
+	"context"
 	"errors"
 	"fmt"
 
@@ -93,6 +94,11 @@ type Options struct {
 	// RNG drives all randomness; required.
 	RNG *stats.RNG
 
+	// Ctx, when non-nil, cancels the run: the samplers check it before
+	// every round and every scheduled probe, and Run returns the context
+	// error once it fires. nil means run to completion.
+	Ctx context.Context
+
 	// Parallelism, when > 1, routes batched cost requests — the whole
 	// pilot phase and each Delta row — through the oracle's batch path
 	// (BatchOracle) over a bounded worker pool. 0 or 1 evaluates serially.
@@ -156,6 +162,14 @@ func (o Options) withDefaults() Options {
 	return o
 }
 
+// ctxErr reports the run context's error, nil when no context was set.
+func (o *Options) ctxErr() error {
+	if o.Ctx == nil {
+		return nil
+	}
+	return o.Ctx.Err()
+}
+
 func (o Options) validate(oracle Oracle) error {
 	if o.RNG == nil {
 		return errors.New("sampling: Options.RNG is required")
@@ -194,6 +208,10 @@ type Result struct {
 	Strata int
 	// Splits is the number of progressive splits performed.
 	Splits int
+	// DegradedQueries counts probes the oracle asked to skip-and-reweight
+	// (ErrSkipQuery): each dropped its query from the stratum and shrank
+	// the stratum weight. Zero with an infallible oracle.
+	DegradedQueries int
 	// PrCSTrace, when tracing was enabled, holds Pr(CS) after each sample.
 	PrCSTrace []float64
 }

@@ -12,6 +12,7 @@
 package sampling
 
 import (
+	"errors"
 	"sync/atomic"
 
 	"physdes/internal/optimizer"
@@ -37,6 +38,70 @@ type Oracle interface {
 // evaluation: query index Q under configuration index J.
 type Pair struct {
 	Q, J int
+}
+
+// ErrOracle is an Oracle whose cost probes can fail — the contract for
+// remote or flaky what-if services. The samplers always prefer CostErr
+// over Cost when an oracle implements it, so wrapping decorators (fault
+// injection, retries, degradation policies) see every probe.
+//
+// Infallible oracles wrap trivially: see AsErrOracle.
+type ErrOracle interface {
+	Oracle
+	// CostErr returns the cost of query i under configuration j, or an
+	// error when the probe could not produce one. Implementations decide
+	// what a failed probe charges against Calls(); the built-in resilience
+	// wrapper charges every attempt, matching a real what-if service that
+	// burns optimizer time before failing.
+	CostErr(i, j int) (float64, error)
+}
+
+// BatchErrOracle is an ErrOracle with a batched path: out[i], errs[i]
+// receive the result of pairs[i]. Like BatchOracle, values must be
+// identical to serial CostErr at every parallelism level.
+type BatchErrOracle interface {
+	ErrOracle
+	BatchCostErr(pairs []Pair, out []float64, errs []error, parallelism int)
+}
+
+// ErrSkipQuery is the sentinel a fallible oracle (typically the resilience
+// wrapper in skip-and-reweight mode) returns — wrapped — to ask the
+// sampler to degrade gracefully: drop the query from its stratum and
+// renormalize the stratum weight, instead of failing the run. Any other
+// CostErr error aborts the selection.
+var ErrSkipQuery = errors.New("sampling: skip query and reweight stratum")
+
+// errOracleAdapter lifts an infallible Oracle into an ErrOracle.
+type errOracleAdapter struct{ Oracle }
+
+func (a errOracleAdapter) CostErr(i, j int) (float64, error) { return a.Oracle.Cost(i, j), nil }
+
+// AsErrOracle returns o's fallible view: o itself when it already
+// implements ErrOracle, otherwise a trivial adapter whose CostErr never
+// fails.
+func AsErrOracle(o Oracle) ErrOracle {
+	if eo, ok := o.(ErrOracle); ok {
+		return eo
+	}
+	return errOracleAdapter{o}
+}
+
+// batchCostErr evaluates pairs through the oracle's fallible batch path
+// when it has one and parallel evaluation was requested, falling back to
+// sequential CostErr calls in pair order. errs[i] receives pairs[i]'s
+// error (nil on success); the serial fallback stops at the first
+// non-skip error, leaving later slots untouched at their zero values.
+func batchCostErr(o ErrOracle, pairs []Pair, out []float64, errs []error, parallelism int) {
+	if bo, ok := o.(BatchErrOracle); ok && parallelism > 1 {
+		bo.BatchCostErr(pairs, out, errs, parallelism)
+		return
+	}
+	for i, p := range pairs {
+		out[i], errs[i] = o.CostErr(p.Q, p.J)
+		if errs[i] != nil && !errors.Is(errs[i], ErrSkipQuery) {
+			return
+		}
+	}
 }
 
 // BatchOracle is an Oracle that can evaluate many pairs at once, fanning

@@ -11,11 +11,14 @@ func Run(o Oracle, opts Options) (*Result, error) {
 	if err := opts.validate(o); err != nil {
 		return nil, err
 	}
+	if err := opts.ctxErr(); err != nil {
+		return nil, err
+	}
 	switch opts.Scheme {
 	case Delta:
-		return newDeltaSampler(o, opts).run(), nil
+		return newDeltaSampler(o, opts).run()
 	default:
-		return newIndependentSampler(o, opts).run(), nil
+		return newIndependentSampler(o, opts).run()
 	}
 }
 

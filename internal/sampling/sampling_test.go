@@ -159,7 +159,11 @@ func TestEstimatorUnbiasedness(t *testing.T) {
 			}.withDefaults())
 			for h := range d.strata {
 				for d.strata[h].n < minInt(10, d.strata[h].size) {
-					if !d.sampleFrom(h) {
+					ok, err := d.sampleFrom(h)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if !ok {
 						break
 					}
 				}
@@ -172,13 +176,6 @@ func TestEstimatorUnbiasedness(t *testing.T) {
 				mode, got, true0, 100*math.Abs(got-true0)/true0)
 		}
 	}
-}
-
-func minInt(a, b int) int {
-	if a < b {
-		return a
-	}
-	return b
 }
 
 // Pr(CS) must be a conservative estimate: whenever the primitive reports

@@ -33,6 +33,7 @@
 package physdes
 
 import (
+	"context"
 	"io"
 
 	"physdes/internal/catalog"
@@ -41,6 +42,7 @@ import (
 	"physdes/internal/obs"
 	"physdes/internal/optimizer"
 	"physdes/internal/physical"
+	"physdes/internal/resilience"
 	"physdes/internal/sampling"
 	"physdes/internal/sqlparse"
 	"physdes/internal/stats"
@@ -111,6 +113,20 @@ type (
 	MetricsRegistry = obs.Registry
 	// MetricsSnapshot is a point-in-time copy of a registry.
 	MetricsSnapshot = obs.Snapshot
+	// DegradePolicy selects how the resilience layer handles what-if
+	// probes that stay failed after retries (Options.Degrade).
+	DegradePolicy = resilience.Policy
+)
+
+// Degradation policies for fallible oracles (Options.Degrade).
+const (
+	// DegradeFail aborts the selection on an unrecoverable probe.
+	DegradeFail = resilience.Fail
+	// DegradeSkip drops the failed query and reweights its stratum.
+	DegradeSkip = resilience.Skip
+	// DegradeConservative substitutes the Section 6 upper interval
+	// endpoint (requires Options.Conservative).
+	DegradeConservative = resilience.Conservative
 )
 
 // Sampling schemes and stratification modes.
@@ -243,6 +259,13 @@ func Select(opt *Optimizer, w *Workload, configs []*Configuration, o Options) (*
 // SelectTraced is Select with a per-sample Pr(CS) trace.
 func SelectTraced(opt *Optimizer, w *Workload, configs []*Configuration, o Options) (*Selection, error) {
 	return core.SelectTraced(opt, w, configs, o)
+}
+
+// SelectCtx is Select with cancellation and oracle resilience: ctx aborts
+// the run between rounds and scheduled probes, and Options.MaxRetries /
+// CallBudgetMS / ErrorBudget / Degrade harden a fallible what-if oracle.
+func SelectCtx(ctx context.Context, opt *Optimizer, w *Workload, configs []*Configuration, o Options) (*Selection, error) {
+	return core.SelectCtx(ctx, opt, w, configs, o)
 }
 
 // CompressTopCost applies the DB2-advisor top-cost compression baseline
