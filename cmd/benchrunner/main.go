@@ -6,7 +6,7 @@
 //	benchrunner [-exp all|table1|fig1|fig2|fig3|fig4|table2|table3|sec73|clt|elim|stability|rho|parallel|strat]
 //	            [-quick|-paper] [-seed N] [-repeats N]
 //	            [-profile cpu.pprof] [-heap-profile heap.pprof] [-metrics]
-//	            [-parallelism N] [-json BENCH_parallel.json]
+//	            [-parallelism N] [-json BENCH_parallel.json] [-listen 127.0.0.1:6060]
 //
 // Quick mode (default) uses reduced workload sizes and Monte-Carlo repeat
 // counts so the full suite finishes in minutes; -paper switches to the
@@ -15,19 +15,26 @@
 // -profile records a CPU profile of the whole run (and -heap-profile a
 // heap profile at exit) for `go tool pprof`; -metrics attaches a registry
 // to the scenario optimizers and prints its Prometheus text exposition on
-// stderr when the run finishes.
+// stderr when the run finishes. -listen serves the registry (and pprof)
+// over HTTP while the suite runs — /healthz, /metrics, /metrics.json,
+// /debug/pprof/* — and an interrupt (Ctrl-C / SIGTERM) stops the run at
+// the next experiment boundary, still finalizing profiles and metrics.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"runtime"
+	"syscall"
 	"time"
 
 	"physdes/internal/bounds"
 	"physdes/internal/experiments"
 	"physdes/internal/obs"
+	"physdes/internal/obs/live"
 )
 
 func main() {
@@ -42,8 +49,12 @@ func main() {
 		metrics     = flag.Bool("metrics", false, "print the metrics registry (Prometheus text format) on stderr at exit")
 		parallelism = flag.Int("parallelism", 0, "max worker count for the parallel experiment's sweep (0: all cores)")
 		jsonOut     = flag.String("json", "", "write the parallel experiment's speedup curve as JSON to this file")
+		listen      = flag.String("listen", "", "serve live introspection HTTP (/healthz, /metrics, /debug/pprof) on this address while the run executes")
 	)
 	flag.Parse()
+
+	sigCtx, stopSig := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stopSig()
 
 	p := experiments.Quick()
 	if *paper {
@@ -55,9 +66,20 @@ func main() {
 	}
 
 	var reg *obs.Registry
-	if *metrics {
+	if *metrics || *listen != "" {
 		reg = obs.NewRegistry()
 		bounds.SetMetrics(reg)
+	}
+	if *listen != "" {
+		reg.Gauge("physdes_up").Set(1)
+		srv := live.New(reg)
+		addr, err := srv.Start(*listen)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchrunner:", err)
+			os.Exit(1)
+		}
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "# introspection: http://%s (/healthz /metrics /metrics.json /debug/pprof)\n", addr)
 	}
 	var stopProfile func() error
 	if *profile != "" {
@@ -69,7 +91,16 @@ func main() {
 		stopProfile = stop
 	}
 
-	err := run(*exp, p, *csvDir, reg, *parallelism, *jsonOut)
+	// The suite runs in a goroutine so an interrupt can cut it short while
+	// profiles and metrics below still finalize before exit.
+	errc := make(chan error, 1)
+	go func() { errc <- run(*exp, p, *csvDir, reg, *parallelism, *jsonOut) }()
+	var err error
+	select {
+	case err = <-errc:
+	case <-sigCtx.Done():
+		err = fmt.Errorf("interrupted, partial results above: %w", sigCtx.Err())
+	}
 
 	if stopProfile != nil {
 		if perr := stopProfile(); perr != nil {
@@ -89,7 +120,7 @@ func main() {
 			fmt.Fprintf(os.Stderr, "# wrote heap profile to %s\n", *heap)
 		}
 	}
-	if reg != nil {
+	if *metrics {
 		fmt.Fprintln(os.Stderr, "# metrics")
 		reg.WriteProm(os.Stderr)
 	}

@@ -7,8 +7,9 @@
 //	physdes select  -db tpcd|crm -n 13000 -k 50 [-alpha .9] [-delta 0]
 //	                [-scheme delta|independent] [-strat none|progressive|fine]
 //	                [-conservative] [-trace events.jsonl] [-metrics] [-seed 1]
-//	                [-timeout 30s] [-max-retries 3]
+//	                [-timeout 30s] [-max-retries 3] [-listen 127.0.0.1:6060] [-report]
 //	physdes explore -db tpcd|crm -n 2600 -k 20 [-seed 1]
+//	physdes report  trace.jsonl|report.json
 //
 // gen writes a workload table to disk (the Section 5 preprocessing format);
 // select runs the comparison primitive over a generated configuration space
@@ -17,16 +18,24 @@
 // -trace writes a JSONL log of every sampling round, split, elimination
 // and allocation decision, and -metrics prints the run's counters
 // (optimizer calls and latency, sampler activity) in Prometheus text
-// format.
+// format. -listen serves live introspection over HTTP (health, metrics,
+// pprof, and an SSE stream of round events) while the run is in flight;
+// report renders a recorded trace (or a saved RunReport) as a
+// deterministic convergence report, and -report prints the same for the
+// run just finished. An interrupt (Ctrl-C) cancels the selection,
+// prints the partial progress, and flushes the trace.
 package main
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 
 	"physdes"
 )
@@ -50,6 +59,8 @@ func main() {
 		err = cmdTune(os.Args[2:])
 	case "compare":
 		err = cmdCompare(os.Args[2:])
+	case "report":
+		err = cmdReport(os.Args[2:])
 	case "-h", "--help", "help":
 		usage()
 	default:
@@ -69,13 +80,14 @@ func usage() {
   physdes select  -db tpcd|crm -n N -k K [-alpha A] [-delta D]
                   [-scheme delta|independent] [-strat none|progressive|fine]
                   [-conservative] [-trace FILE] [-metrics] [-parallelism P]
-                  [-timeout DUR] [-max-retries R] [-seed S]
+                  [-timeout DUR] [-max-retries R] [-listen ADDR] [-report] [-seed S]
   physdes explore -db tpcd|crm -n N -k K [-trace FILE] [-metrics] [-parallelism P] [-seed S]
   physdes explain -db tpcd|crm -q "SELECT ..." [-config rec.json]
   physdes tune    -db tpcd|crm -n N [-mode sampled|exhaustive] [-max M]
                   [-out rec.json] [-seed S]
   physdes compare -db tpcd|crm -a cur.json -b new.json [-alpha A] [-delta-frac F]
-                  [-workload FILE | -n N] [-seed S]`)
+                  [-workload FILE | -n N] [-seed S]
+  physdes report  trace.jsonl|report.json`)
 }
 
 func buildWorkload(db string, n int, seed uint64) (*physdes.Catalog, *physdes.Workload, error) {
@@ -390,8 +402,39 @@ func cmdSelect(args []string, explore bool) error {
 	parallelism := fs.Int("parallelism", 0, "what-if worker pool size (0: all cores, 1: serial; the selection is bit-identical at every setting)")
 	timeout := fs.Duration("timeout", 0, "abort the selection after this wall-clock duration (0: no limit)")
 	maxRetries := fs.Int("max-retries", 0, "re-attempt failed what-if probes this many times (fallible oracles only)")
+	listen := fs.String("listen", "", "serve live introspection HTTP on this address (/healthz, /metrics, /runs, SSE) and keep serving after the run until interrupted")
+	report := fs.Bool("report", false, "print the flight recorder's convergence report after the run")
 	seed := fs.Uint64("seed", 1, "random seed")
 	fs.Parse(args)
+
+	// An interrupt (Ctrl-C / SIGTERM) cancels the selection between rounds;
+	// the partial result is reported and the trace flushed before exit.
+	sigCtx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	// The run's flight recorder: it subscribes to the trace stream and
+	// powers -report, the -listen endpoints, and the partial report printed
+	// on interruption.
+	rec := physdes.NewFlightRecorder("select")
+
+	var reg *physdes.MetricsRegistry
+	var srv *physdes.LiveServer
+	if *listen != "" {
+		// The introspection server needs a registry even without -metrics,
+		// and comes up before the (potentially slow) workload build so
+		// /healthz answers as soon as the process starts.
+		reg = physdes.NewMetricsRegistry()
+		reg.Gauge("physdes_up").Set(1)
+		rec.WithMetrics(reg)
+		srv = physdes.NewLiveServer(reg)
+		srv.Register(rec)
+		addr, err := srv.Start(*listen)
+		if err != nil {
+			return err
+		}
+		defer srv.Close()
+		fmt.Printf("introspection: http://%s (/healthz /metrics /runs/select/report /runs/select/events)\n", addr)
+	}
 
 	cat, w, err := buildWorkload(*db, *n, *seed)
 	if err != nil {
@@ -440,22 +483,28 @@ func cmdSelect(args []string, explore bool) error {
 		return fmt.Errorf("unknown stratification %q", *strat)
 	}
 
-	var reg *physdes.MetricsRegistry
-	if *metrics {
+	if *metrics && reg == nil {
 		reg = physdes.NewMetricsRegistry()
+		rec.WithMetrics(reg)
+	}
+	if reg != nil {
 		o.Metrics = reg
 	}
+	// The tracer fans out to the flight recorder and, with -trace, a JSONL
+	// file sink.
+	sinks := []physdes.TraceSink{rec}
 	if *traceFile != "" {
 		f, err := os.Create(*traceFile)
 		if err != nil {
 			return err
 		}
 		defer f.Close()
-		o.Tracer = physdes.NewTracer(f)
+		sinks = append(sinks, physdes.NewJSONLSink(f))
 	}
+	o.Tracer = physdes.NewTracerSinks(sinks...)
 
 	o.MaxRetries = *maxRetries
-	ctx := context.Background()
+	ctx := sigCtx
 	if *timeout > 0 {
 		var cancel context.CancelFunc
 		ctx, cancel = context.WithTimeout(ctx, *timeout)
@@ -467,16 +516,24 @@ func cmdSelect(args []string, explore bool) error {
 		o.TracePrCS = true
 	}
 	sel, err = physdes.SelectCtx(ctx, opt, w, configs, o)
-	if err != nil {
-		if ctx.Err() != nil {
-			return fmt.Errorf("selection aborted by -timeout %v: %w", *timeout, err)
-		}
-		return err
+	rec.Finish(err)
+	if flushErr := o.Tracer.Flush(); flushErr != nil && err == nil {
+		return fmt.Errorf("trace: %w", flushErr)
 	}
-	if o.Tracer != nil {
-		if err := o.Tracer.Flush(); err != nil {
-			return fmt.Errorf("trace: %w", err)
+	if err != nil {
+		if ctx.Err() == nil {
+			return err
 		}
+		// Cancelled (signal or -timeout): surface the partial progress the
+		// recorder accumulated before bailing out.
+		fmt.Println("\nselection interrupted; partial progress:")
+		if werr := physdes.WriteRunReport(os.Stdout, rec.Report()); werr != nil {
+			return werr
+		}
+		if sigCtx.Err() != nil {
+			return fmt.Errorf("selection cancelled by signal: %w", err)
+		}
+		return fmt.Errorf("selection aborted by -timeout %v: %w", *timeout, err)
 	}
 
 	fmt.Printf("\nselected: %s  (Pr(CS) = %.3f ≥ α = %.2f)\n", sel.Best.Name(), sel.PrCS, *alpha)
@@ -517,11 +574,60 @@ func cmdSelect(args []string, explore bool) error {
 	if *traceFile != "" {
 		fmt.Printf("  wrote trace to %s\n", *traceFile)
 	}
-	if reg != nil {
+	if *metrics {
 		fmt.Println("\nmetrics:")
 		if err := reg.WriteProm(os.Stdout); err != nil {
 			return err
 		}
 	}
+	if *report {
+		fmt.Println("\nreport:")
+		if err := physdes.WriteRunReport(os.Stdout, rec.Report()); err != nil {
+			return err
+		}
+	}
+	if *listen != "" && sigCtx.Err() == nil {
+		fmt.Printf("\nrun complete; still serving introspection on -listen %s (Ctrl-C to exit)\n", *listen)
+		<-sigCtx.Done()
+	}
 	return nil
+}
+
+// cmdReport renders a trace file (JSONL, as written by -trace) or a
+// RunReport JSON document as a deterministic human-readable convergence
+// report.
+func cmdReport(args []string) error {
+	fs := flag.NewFlagSet("report", flag.ExitOnError)
+	fs.Parse(args)
+	if fs.NArg() != 1 {
+		return fmt.Errorf("report: want exactly one argument: a trace .jsonl or report .json file")
+	}
+	path := fs.Arg(0)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	rep, err := parseReportInput(data)
+	if err != nil {
+		return fmt.Errorf("report: %s: %w", path, err)
+	}
+	return physdes.WriteRunReport(os.Stdout, rep)
+}
+
+// parseReportInput accepts either a RunReport JSON document (one object,
+// as served by /runs/{id}/report) or a JSONL trace. A whole-input parse
+// distinguishes them: a trace is many objects (or a single object
+// carrying the "ev" field), a report is one object without it.
+func parseReportInput(data []byte) (*physdes.RunReport, error) {
+	var probe map[string]json.RawMessage
+	if err := json.Unmarshal(data, &probe); err == nil {
+		if _, isEvent := probe["ev"]; !isEvent {
+			var rep physdes.RunReport
+			if err := json.Unmarshal(data, &rep); err != nil {
+				return nil, err
+			}
+			return &rep, nil
+		}
+	}
+	return physdes.ParseTraceReport(bytes.NewReader(data))
 }

@@ -1,0 +1,95 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"physdes"
+)
+
+// runReport invokes the report subcommand on path and returns its stdout.
+func runReport(t *testing.T, path string) string {
+	t.Helper()
+	return captureStdout(t, func() {
+		if err := cmdReport([]string{path}); err != nil {
+			t.Errorf("report %s: %v", path, err)
+		}
+	})
+}
+
+// TestReportGolden replays the checked-in fixture trace through
+// `physdes report` and compares against the golden rendering. The
+// acceptance criterion is byte-identical output across runs, so the
+// same input is rendered twice and compared directly as well.
+func TestReportGolden(t *testing.T) {
+	dir := goldenDir(t)
+	fixture := filepath.Join(dir, "report_trace.jsonl")
+	golden := filepath.Join(dir, "report.golden")
+	t.Chdir(t.TempDir())
+
+	out := runReport(t, fixture)
+	if out == "" {
+		t.Fatal("report produced no output")
+	}
+	if again := runReport(t, fixture); again != out {
+		t.Fatalf("report output not byte-identical across runs:\n--- first ---\n%s\n--- second ---\n%s", out, again)
+	}
+	checkGolden(t, golden, out)
+}
+
+// TestReportAcceptsRunReportJSON feeds the report subcommand a
+// materialized RunReport JSON document (as served by /runs/{id}/report)
+// and expects the same rendering as the raw trace it came from.
+func TestReportAcceptsRunReportJSON(t *testing.T) {
+	dir := goldenDir(t)
+	fixture := filepath.Join(dir, "report_trace.jsonl")
+	t.Chdir(t.TempDir())
+
+	data, err := os.ReadFile(fixture)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := physdes.ParseTraceReport(bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	js, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile("report.json", append(js, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	fromJSON := runReport(t, "report.json")
+	fromTrace := runReport(t, fixture)
+	if fromJSON != fromTrace {
+		t.Fatalf("RunReport JSON rendering diverged from trace rendering:\n--- json ---\n%s\n--- trace ---\n%s", fromJSON, fromTrace)
+	}
+}
+
+func TestReportRejectsGarbage(t *testing.T) {
+	t.Chdir(t.TempDir())
+	if err := os.WriteFile("junk.txt", []byte("not a trace\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	err := captureStdoutErr(t, "junk.txt")
+	if err == nil {
+		t.Fatal("report accepted garbage input")
+	}
+	if err := cmdReport(nil); err == nil {
+		t.Fatal("report with no arguments must fail")
+	}
+}
+
+// captureStdoutErr runs cmdReport while swallowing stdout, returning
+// only the error.
+func captureStdoutErr(t *testing.T, path string) error {
+	t.Helper()
+	var err error
+	captureStdout(t, func() { err = cmdReport([]string{path}) })
+	return err
+}

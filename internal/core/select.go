@@ -245,7 +245,8 @@ func SelectCtx(ctx context.Context, opt *optimizer.Optimizer, w *workload.Worklo
 		obs.KV{Key: "strat", Value: o.Strat.String()},
 		obs.KV{Key: "alpha", Value: o.Alpha},
 		obs.KV{Key: "delta", Value: o.Delta},
-		obs.KV{Key: "conservative", Value: o.Conservative})
+		obs.KV{Key: "conservative", Value: o.Conservative},
+		obs.KV{Key: "parallelism", Value: o.Parallelism})
 
 	var oracle sampling.Oracle = sampling.NewLiveOracle(opt, w, configs)
 	if o.WrapOracle != nil {
@@ -340,7 +341,12 @@ func SelectCtx(ctx context.Context, opt *optimizer.Optimizer, w *workload.Worklo
 		obs.KV{Key: "prcs", Value: sel.PrCS},
 		obs.KV{Key: "sampled", Value: sel.SampledQueries},
 		obs.KV{Key: "calls", Value: sel.OptimizerCalls},
-		obs.KV{Key: "exhaustive", Value: sel.ExhaustiveCalls})
+		obs.KV{Key: "exhaustive", Value: sel.ExhaustiveCalls},
+		obs.KV{Key: "strata", Value: sel.Strata},
+		obs.KV{Key: "splits", Value: sel.Splits},
+		obs.KV{Key: "degraded", Value: sel.DegradedQueries},
+		obs.KV{Key: "retries", Value: sel.OracleRetries},
+		obs.KV{Key: "faults", Value: sel.OracleFaults})
 	return sel, nil
 }
 

@@ -1,0 +1,240 @@
+// Package live is the stdlib-net/http introspection server of the
+// observability layer. It exposes a running process's metrics registry
+// (Prometheus text and JSON), pprof, and the flight recorders of
+// in-flight selection runs — including a Server-Sent-Events stream of
+// live round events, so a dashboard or curl session can watch Pr(CS)
+// converge while the run is in flight.
+//
+// Endpoints:
+//
+//	GET /healthz              liveness probe ("ok")
+//	GET /metrics              Prometheus text exposition
+//	GET /metrics.json         metrics snapshot as JSON
+//	GET /debug/pprof/         pprof index (+profile, heap, trace, ...)
+//	GET /runs                 registered runs and their statuses
+//	GET /runs/{id}/report     structured RunReport (JSON)
+//	GET /runs/{id}/events     SSE stream of round events, then a final report
+package live
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"sync"
+
+	"physdes/internal/obs"
+	"physdes/internal/obs/recorder"
+)
+
+// Server serves the introspection endpoints for one process. Runs are
+// registered as they start; the zero number of runs is fine (the server
+// can come up before the first selection begins). Methods are safe for
+// concurrent use.
+type Server struct {
+	reg *obs.Registry
+	mux *http.ServeMux
+
+	mu    sync.Mutex
+	runs  map[string]*recorder.Recorder
+	order []string
+
+	srv *http.Server
+	ln  net.Listener
+}
+
+// New returns a server exposing reg (may be nil; the metrics endpoints
+// then serve an empty exposition, which nil-safe Registry methods
+// support).
+func New(reg *obs.Registry) *Server {
+	s := &Server{reg: reg, runs: map[string]*recorder.Recorder{}}
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	mux.HandleFunc("GET /metrics.json", s.handleMetricsJSON)
+	mux.HandleFunc("GET /runs", s.handleRuns)
+	mux.HandleFunc("GET /runs/{id}/report", s.handleReport)
+	mux.HandleFunc("GET /runs/{id}/events", s.handleEvents)
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	s.mux = mux
+	return s
+}
+
+// Register adds a run's flight recorder to the server. Later
+// registrations with the same id replace the earlier run.
+func (s *Server) Register(rec *recorder.Recorder) {
+	if rec == nil {
+		return
+	}
+	id := rec.ID()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.runs[id]; !ok {
+		s.order = append(s.order, id)
+	}
+	s.runs[id] = rec
+}
+
+// Handler returns the server's HTTP handler, for mounting under a test
+// server or an existing mux.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Start listens on addr (e.g. "127.0.0.1:0") and serves in a background
+// goroutine. It returns the bound address, so ":0" callers learn the
+// chosen port.
+func (s *Server) Start(addr string) (string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", fmt.Errorf("live: listen %s: %w", addr, err)
+	}
+	s.ln = ln
+	s.srv = &http.Server{Handler: s.mux}
+	go func() {
+		if err := s.srv.Serve(ln); err != nil && !errors.Is(err, http.ErrServerClosed) {
+			_ = err // the process is exiting; nothing useful to do
+		}
+	}()
+	return ln.Addr().String(), nil
+}
+
+// Close stops the listener and aborts in-flight handlers (including SSE
+// streams).
+func (s *Server) Close() error {
+	if s.srv == nil {
+		return nil
+	}
+	return s.srv.Close()
+}
+
+func (s *Server) run(id string) *recorder.Recorder {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.runs[id]
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprintln(w, "ok")
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	_ = s.reg.WriteProm(w)
+}
+
+func (s *Server) handleMetricsJSON(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	_ = s.reg.WriteJSON(w)
+}
+
+// runInfo is one entry of the /runs listing.
+type runInfo struct {
+	ID     string  `json:"id"`
+	Status string  `json:"status"`
+	Rounds int     `json:"rounds"`
+	PrCS   float64 `json:"prcs"`
+}
+
+func (s *Server) handleRuns(w http.ResponseWriter, _ *http.Request) {
+	s.mu.Lock()
+	order := append([]string(nil), s.order...)
+	recs := make([]*recorder.Recorder, 0, len(order))
+	for _, id := range order {
+		recs = append(recs, s.runs[id])
+	}
+	s.mu.Unlock()
+
+	infos := make([]runInfo, 0, len(recs))
+	for _, rec := range recs {
+		rep := rec.Report()
+		infos = append(infos, runInfo{ID: rep.ID, Status: rep.Status, Rounds: len(rep.Rounds), PrCS: rep.PrCS})
+	}
+	writeJSON(w, infos)
+}
+
+func (s *Server) handleReport(w http.ResponseWriter, r *http.Request) {
+	rec := s.run(r.PathValue("id"))
+	if rec == nil {
+		http.NotFound(w, r)
+		return
+	}
+	writeJSON(w, rec.Report())
+}
+
+// handleEvents streams a run's rounds as Server-Sent Events. Each round
+// is one `event: round` message whose id is the round index; when the
+// run finishes, a final `event: done` message carries the report
+// summary and the stream ends. Rounds are delivered exactly once, in
+// order: recorder.RoundsSince snapshots the append-only round log and
+// the change channel atomically.
+func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
+	rec := s.run(r.PathValue("id"))
+	if rec == nil {
+		http.NotFound(w, r)
+		return
+	}
+	fl, ok := w.(http.Flusher)
+	if !ok {
+		http.Error(w, "streaming unsupported", http.StatusInternalServerError)
+		return
+	}
+	h := w.Header()
+	h.Set("Content-Type", "text/event-stream")
+	h.Set("Cache-Control", "no-cache")
+	h.Set("Connection", "keep-alive")
+	w.WriteHeader(http.StatusOK)
+	fl.Flush()
+
+	ctx := r.Context()
+	idx := 0
+	for {
+		rounds, done, changed := rec.RoundsSince(idx)
+		for _, rd := range rounds {
+			data, err := json.Marshal(rd)
+			if err != nil {
+				return
+			}
+			fmt.Fprintf(w, "event: round\nid: %d\ndata: %s\n\n", idx, data)
+			idx++
+		}
+		if len(rounds) > 0 {
+			fl.Flush()
+		}
+		if done {
+			rep := rec.Report()
+			summary, err := json.Marshal(map[string]any{
+				"status": rep.Status,
+				"best":   rep.Best,
+				"prcs":   rep.PrCS,
+				"rounds": len(rep.Rounds),
+				"calls":  rep.Oracle.Calls,
+			})
+			if err != nil {
+				return
+			}
+			fmt.Fprintf(w, "event: done\ndata: %s\n\n", summary)
+			fl.Flush()
+			return
+		}
+		if len(rounds) == 0 {
+			select {
+			case <-changed:
+			case <-ctx.Done():
+				return
+			}
+		}
+	}
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}

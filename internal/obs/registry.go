@@ -157,6 +157,13 @@ func (h *Histogram) Sum() float64 {
 	return math.Float64frombits(h.sumBits.Load())
 }
 
+// Quantiles returns the bucket-derived p50, p90 and p99 upper bounds in
+// one call — the trio every latency surface (Snapshot, the flight
+// recorder, `physdes report`) renders. Zeros on nil or empty.
+func (h *Histogram) Quantiles() (p50, p90, p99 float64) {
+	return h.Quantile(0.50), h.Quantile(0.90), h.Quantile(0.99)
+}
+
 // Quantile returns an upper bound on the q-quantile (0 ≤ q ≤ 1) from the
 // bucket counts: the upper bound of the first bucket whose cumulative
 // count reaches q·N. Returns 0 when empty.
@@ -183,10 +190,15 @@ func (h *Histogram) Quantile(q float64) float64 {
 }
 
 // HistogramSnapshot is the JSON form of a histogram: non-empty buckets
-// keyed by their exclusive upper bound.
+// keyed by their exclusive upper bound, plus the bucket-derived p50/p90/
+// p99 upper bounds so consumers (the flight recorder, report renderers)
+// never re-derive quantiles from raw buckets.
 type HistogramSnapshot struct {
 	Count   int64            `json:"count"`
 	Sum     float64          `json:"sum"`
+	P50     float64          `json:"p50,omitempty"`
+	P90     float64          `json:"p90,omitempty"`
+	P99     float64          `json:"p99,omitempty"`
 	Buckets map[string]int64 `json:"buckets,omitempty"`
 }
 
@@ -305,6 +317,12 @@ func (r *Registry) Snapshot() Snapshot {
 	}
 	for name, h := range r.histograms {
 		hs := HistogramSnapshot{Count: h.Count(), Sum: h.Sum(), Buckets: map[string]int64{}}
+		if hs.Count > 0 {
+			p50, p90, p99 := h.Quantiles()
+			// The overflow bucket's upper bound is +Inf, which JSON cannot
+			// carry; clamp to the largest finite bound.
+			hs.P50, hs.P90, hs.P99 = finiteBound(p50), finiteBound(p90), finiteBound(p99)
+		}
 		for i := 0; i < histBucket; i++ {
 			if n := h.buckets[i].Load(); n > 0 {
 				hs.Buckets[formatBound(BucketUpperBound(i))] = n
@@ -448,6 +466,15 @@ func seriesName(base, labels, suffix, extra string) string {
 		return base + suffix + "{" + labels + "}"
 	}
 	return base + suffix + "{" + labels + "," + extra + "}"
+}
+
+// finiteBound clamps the overflow bucket's +Inf upper bound to the
+// largest finite float64 so snapshots stay encodable by encoding/json.
+func finiteBound(v float64) float64 {
+	if math.IsInf(v, 1) {
+		return math.MaxFloat64
+	}
+	return v
 }
 
 func formatBound(v float64) string {

@@ -15,9 +15,44 @@ type KV struct {
 	Value any
 }
 
-// Tracer emits structured events as JSON Lines to a writer. Every event
-// carries a monotonic sequence number, a microsecond timestamp relative
-// to the tracer's creation, an event name, and the caller's attributes:
+// Event is one structured trace record as delivered to sinks: a global
+// sequence number, a microsecond timestamp relative to the tracer's
+// creation, the event name, span bookkeeping and the caller's
+// attributes. The tracer never reuses the Attrs slice, so sinks may
+// retain it (the flight recorder's event ring does) but must treat it
+// as immutable.
+type Event struct {
+	// Seq is the global emission order, 1-based and gapless per tracer.
+	Seq int64
+	// TSUS is the emission time in microseconds since tracer creation.
+	TSUS int64
+	// Name is the event name ("round", "select.begin", ...).
+	Name string
+	// Span is the shared id of a begin/end pair; 0 for non-span events.
+	Span int64
+	// DurUS is the span duration in microseconds (end events only).
+	DurUS int64
+	// Attrs are the caller's attributes in emission order.
+	Attrs []KV
+}
+
+// Sink consumes a tracer's event stream. The tracer serializes every
+// delivery under one lock, so a sink observes events in strict Seq
+// order and needs no locking against other deliveries — only against
+// its own readers (e.g. a flight recorder serving HTTP snapshots while
+// the run emits).
+type Sink interface {
+	// Event receives one trace event.
+	Event(e Event)
+	// Flush drains anything the sink buffered.
+	Flush() error
+}
+
+// Tracer fans structured events out to its sinks. Every event carries a
+// monotonic sequence number, a microsecond timestamp relative to the
+// tracer's creation, an event name, and the caller's attributes. The
+// canonical sink is the JSONL writer (NewTracer), which serializes each
+// event as one JSON object per line:
 //
 //	{"seq":3,"ts_us":1042,"ev":"round","round":1,"prcs":0.83,...}
 //
@@ -30,17 +65,42 @@ type KV struct {
 // the disabled path allocation-free.
 type Tracer struct {
 	mu    sync.Mutex
-	w     *bufio.Writer
-	flush func() error
+	sinks []Sink
+	seq   int64 // guarded by mu so sinks see gapless, ordered delivery
 	start time.Time
-	seq   atomic.Int64
 	spans atomic.Int64
 }
 
-// NewTracer returns a tracer writing JSONL events to w. Output is
-// buffered; call Close (or Flush) to drain it.
+// NewTracer returns a tracer writing JSONL events to w — a fan-out
+// tracer with a single JSONL sink. Output is buffered; call Close (or
+// Flush) to drain it.
 func NewTracer(w io.Writer) *Tracer {
-	return &Tracer{w: bufio.NewWriter(w), start: time.Now()}
+	return NewTracerSinks(NewJSONLSink(w))
+}
+
+// NewTracerSinks returns a tracer fanning events out to the given sinks
+// (a JSONL writer, a flight recorder, ...). Sinks receive every event in
+// emission order.
+func NewTracerSinks(sinks ...Sink) *Tracer {
+	t := &Tracer{start: time.Now()}
+	for _, s := range sinks {
+		if s != nil {
+			t.sinks = append(t.sinks, s)
+		}
+	}
+	return t
+}
+
+// Attach adds a sink to the fan-out. It is safe to call concurrently
+// with emission; the sink starts receiving events after the call.
+// Attaching to a nil tracer is a no-op.
+func (t *Tracer) Attach(s Sink) {
+	if t == nil || s == nil {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.sinks = append(t.sinks, s)
 }
 
 // Enabled reports whether events are recorded.
@@ -51,7 +111,7 @@ func (t *Tracer) Emit(ev string, kvs ...KV) {
 	if t == nil {
 		return
 	}
-	t.write(ev, -1, 0, kvs)
+	t.write(ev, 0, 0, kvs)
 }
 
 // Span is an in-flight start/end event pair.
@@ -81,44 +141,82 @@ func (s Span) End(kvs ...KV) {
 	s.t.write(s.ev+".end", s.id, time.Since(s.began), kvs)
 }
 
-// write serializes one event. spanID < 0 means no span field; dur 0 means
-// no duration field.
+// write assembles one event and delivers it to every sink under the
+// tracer lock, so sinks observe a single strictly-ordered stream.
+// spanID 0 means no span field; dur 0 means no duration field.
 func (t *Tracer) write(ev string, spanID int64, dur time.Duration, kvs []KV) {
-	rec := make(map[string]any, len(kvs)+5)
-	rec["seq"] = t.seq.Add(1)
-	rec["ts_us"] = time.Since(t.start).Microseconds()
-	rec["ev"] = ev
-	if spanID >= 0 {
-		rec["span"] = spanID
-	}
-	if dur > 0 {
-		rec["dur_us"] = dur.Microseconds()
-	}
-	for _, kv := range kvs {
-		rec[kv.Key] = kv.Value
-	}
-	data, err := json.Marshal(rec)
-	if err != nil {
-		// A non-encodable attribute must not kill a tuning run; emit the
-		// event name with the error instead.
-		data, _ = json.Marshal(map[string]any{"ev": ev, "error": err.Error()})
+	e := Event{
+		TSUS:  time.Since(t.start).Microseconds(),
+		Name:  ev,
+		Span:  spanID,
+		DurUS: dur.Microseconds(),
+		Attrs: kvs,
 	}
 	t.mu.Lock()
 	defer t.mu.Unlock()
-	t.w.Write(data)
-	t.w.WriteByte('\n')
+	t.seq++
+	e.Seq = t.seq
+	for _, s := range t.sinks {
+		s.Event(e)
+	}
 }
 
-// Flush drains buffered events to the underlying writer.
+// Flush drains every sink's buffered events.
 func (t *Tracer) Flush() error {
 	if t == nil {
 		return nil
 	}
 	t.mu.Lock()
 	defer t.mu.Unlock()
-	return t.w.Flush()
+	var first error
+	for _, s := range t.sinks {
+		if err := s.Flush(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
 }
 
-// Close flushes the tracer. The underlying writer is not closed; the
-// caller owns it.
+// Close flushes the tracer. Underlying writers are not closed; the
+// caller owns them.
 func (t *Tracer) Close() error { return t.Flush() }
+
+// JSONLSink serializes events as JSON Lines to a writer — the classic
+// trace-file format. Its methods are invoked under the owning tracer's
+// lock, so it carries no lock of its own.
+type JSONLSink struct {
+	w *bufio.Writer
+}
+
+// NewJSONLSink returns a sink writing one JSON object per event to w.
+func NewJSONLSink(w io.Writer) *JSONLSink {
+	return &JSONLSink{w: bufio.NewWriter(w)}
+}
+
+// Event implements Sink.
+func (s *JSONLSink) Event(e Event) {
+	rec := make(map[string]any, len(e.Attrs)+5)
+	rec["seq"] = e.Seq
+	rec["ts_us"] = e.TSUS
+	rec["ev"] = e.Name
+	if e.Span > 0 {
+		rec["span"] = e.Span
+	}
+	if e.DurUS > 0 {
+		rec["dur_us"] = e.DurUS
+	}
+	for _, kv := range e.Attrs {
+		rec[kv.Key] = kv.Value
+	}
+	data, err := json.Marshal(rec)
+	if err != nil {
+		// A non-encodable attribute must not kill a tuning run; emit the
+		// event name with the error instead.
+		data, _ = json.Marshal(map[string]any{"ev": e.Name, "error": err.Error()})
+	}
+	s.w.Write(data)
+	s.w.WriteByte('\n')
+}
+
+// Flush implements Sink, draining the buffered lines to the writer.
+func (s *JSONLSink) Flush() error { return s.w.Flush() }

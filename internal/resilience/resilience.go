@@ -137,7 +137,8 @@ type Options struct {
 	// deterministic.
 	Sleep func(ms float64)
 	// Metrics, when non-nil, registers oracle_retries_total,
-	// oracle_faults_total and oracle_degraded_queries_total.
+	// oracle_faults_total, oracle_degraded_queries_total and — when the
+	// inner oracle reports virtual latencies — oracle_latency_seconds.
 	Metrics *obs.Registry
 }
 
@@ -178,6 +179,7 @@ type Oracle struct {
 	retries  *obs.Counter
 	faults   *obs.Counter
 	degraded *obs.Counter
+	latency  *obs.Histogram
 
 	nRetries   atomic.Int64
 	nFaults    atomic.Int64
@@ -201,6 +203,9 @@ func Wrap(o sampling.Oracle, opts Options) *Oracle {
 		w.retries = opts.Metrics.Counter("oracle_retries_total")
 		w.faults = opts.Metrics.Counter("oracle_faults_total")
 		w.degraded = opts.Metrics.Counter("oracle_degraded_queries_total")
+		if w.timed != nil {
+			w.latency = opts.Metrics.Histogram("oracle_latency_seconds")
+		}
 	}
 	return w
 }
@@ -235,11 +240,16 @@ func (w *Oracle) Cost(i, j int) float64 { return w.inner.Cost(i, j) }
 // probe performs a single attempt, enforcing the virtual call budget when
 // the inner oracle reports latencies.
 func (w *Oracle) probe(i, j int) (float64, error) {
-	if w.timed != nil && w.opts.CallBudgetMS > 0 {
+	if w.timed != nil && (w.opts.CallBudgetMS > 0 || w.latency != nil) {
 		c, lat, err := w.timed.CostTimed(i, j)
-		if err == nil && lat > w.opts.CallBudgetMS {
-			return 0, fmt.Errorf("probe (%d,%d) took %.1fms of %.1fms: %w",
-				i, j, lat, w.opts.CallBudgetMS, ErrCallTimeout)
+		if err == nil {
+			// Observe the virtual latency of successful probes before budget
+			// enforcement, so over-budget calls still show up in the tail.
+			w.latency.Observe(lat / 1000)
+			if w.opts.CallBudgetMS > 0 && lat > w.opts.CallBudgetMS {
+				return 0, fmt.Errorf("probe (%d,%d) took %.1fms of %.1fms: %w",
+					i, j, lat, w.opts.CallBudgetMS, ErrCallTimeout)
+			}
 		}
 		return c, err
 	}

@@ -307,3 +307,51 @@ func TestWrapInfallibleOracleIsTransparent(t *testing.T) {
 		t.Errorf("Calls = %d, want 8", w.Calls())
 	}
 }
+
+func TestLatencyHistogramObservesVirtualLatency(t *testing.T) {
+	reg := obs.NewRegistry()
+	tf := &timedFlaky{flaky: newFlaky(4, 2), spikes: map[[2]int]float64{{1, 0}: 500}}
+	// No CallBudgetMS: the latency histogram alone must route probes
+	// through the timed path.
+	w := Wrap(tf, Options{Metrics: reg})
+	for q := 0; q < 4; q++ {
+		if _, err := w.CostErr(q, 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	hs := reg.Snapshot().Histograms["oracle_latency_seconds"]
+	if hs.Count != 4 {
+		t.Fatalf("oracle_latency_seconds count = %d, want 4", hs.Count)
+	}
+	// Latencies are virtual milliseconds observed in seconds: three probes
+	// at 1ms, one spike at 500ms.
+	if hs.Sum < 0.5 || hs.Sum > 0.6 {
+		t.Errorf("sum = %v, want ~0.503", hs.Sum)
+	}
+	if hs.P99 < 0.25 {
+		t.Errorf("p99 = %v, want to reflect the 500ms spike", hs.P99)
+	}
+
+	// Failed attempts are not observed; the eventual success is.
+	reg2 := obs.NewRegistry()
+	tf2 := &timedFlaky{flaky: newFlaky(4, 2), spikes: map[[2]int]float64{}}
+	tf2.fail[[2]int{2, 1}] = 2
+	w2 := Wrap(tf2, Options{MaxRetries: 3, Metrics: reg2})
+	if _, err := w2.CostErr(2, 1); err != nil {
+		t.Fatal(err)
+	}
+	if hs := reg2.Snapshot().Histograms["oracle_latency_seconds"]; hs.Count != 1 {
+		t.Errorf("count = %d, want 1 (only the successful attempt observes)", hs.Count)
+	}
+
+	// An untimed oracle with metrics registers no latency series and keeps
+	// the plain CostErr path.
+	reg3 := obs.NewRegistry()
+	w3 := Wrap(newFlaky(2, 2), Options{Metrics: reg3})
+	if _, err := w3.CostErr(0, 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := reg3.Snapshot().Histograms["oracle_latency_seconds"]; ok {
+		t.Error("untimed oracle should not register oracle_latency_seconds")
+	}
+}

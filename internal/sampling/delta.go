@@ -904,6 +904,10 @@ func (d *deltaSampler) run() (*Result, error) {
 	for {
 		round++
 		d.met.rounds.Inc()
+		var sw obs.Stopwatch
+		if d.met.roundSeconds != nil {
+			sw = obs.NewStopwatch()
+		}
 		if err := d.opts.ctxErr(); err != nil {
 			return nil, err
 		}
@@ -956,6 +960,9 @@ func (d *deltaSampler) run() (*Result, error) {
 		}
 		d.chooseBest()
 		p, pair = d.prCS()
+		if d.met.roundSeconds != nil {
+			d.met.roundSeconds.Observe(sw.Elapsed().Seconds())
+		}
 	}
 
 	if d.exhaustedAll() && d.degraded == 0 {

@@ -647,6 +647,10 @@ func (s *independentSampler) run() (*Result, error) {
 	for {
 		round++
 		s.met.rounds.Inc()
+		var sw obs.Stopwatch
+		if s.met.roundSeconds != nil {
+			sw = obs.NewStopwatch()
+		}
 		if err := s.opts.ctxErr(); err != nil {
 			return nil, err
 		}
@@ -689,12 +693,18 @@ func (s *independentSampler) run() (*Result, error) {
 			break
 		}
 		if tr.Enabled() {
+			st := s.cfg[j].strata[h]
 			tr.Emit("alloc",
 				obs.KV{Key: "config", Value: j},
-				obs.KV{Key: "stratum", Value: h})
+				obs.KV{Key: "stratum", Value: h},
+				obs.KV{Key: "stratum_n", Value: st.n},
+				obs.KV{Key: "stratum_size", Value: st.size})
 		}
 		s.chooseBest()
 		p, pair = s.prCS()
+		if s.met.roundSeconds != nil {
+			s.met.roundSeconds.Observe(sw.Elapsed().Seconds())
+		}
 	}
 
 	if s.exhaustedAll() && s.degraded == 0 {

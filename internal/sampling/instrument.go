@@ -12,6 +12,7 @@ type samplerMetrics struct {
 	eliminations *obs.Counter
 	splitEvals   *obs.Counter
 	splitSearch  *obs.Histogram
+	roundSeconds *obs.Histogram
 }
 
 func newSamplerMetrics(r *obs.Registry) samplerMetrics {
@@ -22,5 +23,6 @@ func newSamplerMetrics(r *obs.Registry) samplerMetrics {
 		eliminations: r.Counter("sampling_eliminations_total"),
 		splitEvals:   r.Counter("sampling_split_evals_total"),
 		splitSearch:  r.Histogram("sampling_split_search_seconds"),
+		roundSeconds: r.Histogram("select_round_seconds"),
 	}
 }

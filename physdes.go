@@ -40,6 +40,8 @@ import (
 	"physdes/internal/compress"
 	"physdes/internal/core"
 	"physdes/internal/obs"
+	"physdes/internal/obs/live"
+	"physdes/internal/obs/recorder"
 	"physdes/internal/optimizer"
 	"physdes/internal/physical"
 	"physdes/internal/resilience"
@@ -105,8 +107,24 @@ type (
 	// batch fans out over a bounded worker pool and returns costs in
 	// request order, charging one optimizer call per request.
 	BatchRequest = optimizer.Request
-	// Tracer emits structured JSONL selection events (Options.Tracer).
+	// Tracer fans structured selection events out to its sinks
+	// (Options.Tracer); the canonical sink writes JSONL.
 	Tracer = obs.Tracer
+	// TraceSink consumes a tracer's event stream (obs.Sink).
+	TraceSink = obs.Sink
+	// TraceEvent is one structured trace record as delivered to sinks.
+	TraceEvent = obs.Event
+	// FlightRecorder materializes a live RunReport from the trace stream
+	// (attach it to a tracer; see NewFlightRecorder).
+	FlightRecorder = recorder.Recorder
+	// RunReport is the flight recorder's structured view of one run:
+	// Pr(CS) trajectory, strata and allocations, oracle accounting,
+	// per-phase wall-clock.
+	RunReport = recorder.RunReport
+	// LiveServer is the HTTP introspection server (-listen): /healthz,
+	// /metrics, /metrics.json, /debug/pprof/*, /runs and per-run
+	// report + SSE event endpoints.
+	LiveServer = live.Server
 	// MetricsRegistry collects counters, gauges and histograms
 	// (Options.Metrics); it exposes a Prometheus text exposition
 	// (WriteProm) and a JSON snapshot (Snapshot / WriteJSON).
@@ -166,6 +184,34 @@ func NewCachedOptimizer(opt *Optimizer) *CachedOptimizer { return optimizer.NewC
 // and allocation decision of a selection. Call Flush (or Close) after the
 // run to drain buffered events.
 func NewTracer(w io.Writer) *Tracer { return obs.NewTracer(w) }
+
+// NewJSONLSink returns a trace sink writing one JSON object per event to
+// w — the sink NewTracer installs.
+func NewJSONLSink(w io.Writer) TraceSink { return obs.NewJSONLSink(w) }
+
+// NewTracerSinks returns a tracer fanning events out to the given sinks
+// (a JSONL writer, a flight recorder, ...); every sink observes the same
+// strictly-ordered stream. Tracer.Attach adds sinks later.
+func NewTracerSinks(sinks ...TraceSink) *Tracer { return obs.NewTracerSinks(sinks...) }
+
+// NewFlightRecorder returns a flight recorder for the run id. Attach it
+// to the run's tracer (Tracer.Attach or NewTracerSinks) and it folds the
+// trace stream into a live RunReport; call Finish with the run's error
+// when it completes, and Report for a snapshot at any point.
+func NewFlightRecorder(id string) *FlightRecorder { return recorder.New(id) }
+
+// NewLiveServer returns an HTTP introspection server over reg (which may
+// be nil). Register flight recorders on it and call Start(addr); see the
+// LiveServer docs for the endpoints.
+func NewLiveServer(reg *MetricsRegistry) *LiveServer { return live.New(reg) }
+
+// ParseTraceReport replays a JSONL trace (as written by -trace / the
+// JSONL sink) into a RunReport — the substrate of `physdes report`.
+func ParseTraceReport(r io.Reader) (*RunReport, error) { return recorder.FromJSONL(r) }
+
+// WriteRunReport renders a RunReport as a deterministic human-readable
+// convergence report.
+func WriteRunReport(w io.Writer, rep *RunReport) error { return recorder.WriteText(w, rep) }
 
 // NewMetricsRegistry returns an empty metrics registry; set it on
 // Options.Metrics to collect the selection's counters (optimizer calls
