@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	benchrunner [-exp all|table1|fig1|fig2|fig3|fig4|table2|table3|sec73|clt|elim|stability|rho|parallel|strat]
+//	benchrunner [-exp all|table1|fig1|fig2|fig3|fig4|table2|table3|sec73|clt|elim|stability|rho|parallel|strat|atoms]
 //	            [-quick|-paper] [-seed N] [-repeats N]
 //	            [-profile cpu.pprof] [-heap-profile heap.pprof] [-metrics]
 //	            [-parallelism N] [-json BENCH_parallel.json] [-listen 127.0.0.1:6060]
@@ -39,7 +39,7 @@ import (
 
 func main() {
 	var (
-		exp         = flag.String("exp", "all", "experiment id (all, table1, fig1, fig2, fig3, fig4, table2, table3, sec73, clt, elim, stability, rho, parallel, strat)")
+		exp         = flag.String("exp", "all", "experiment id (all, table1, fig1, fig2, fig3, fig4, table2, table3, sec73, clt, elim, stability, rho, parallel, strat, atoms)")
 		paper       = flag.Bool("paper", false, "paper-scale sizes (13K/6K queries, 5000 repeats)")
 		seed        = flag.Uint64("seed", 1, "random seed")
 		repeats     = flag.Int("repeats", 0, "override Monte-Carlo repeats")
@@ -146,7 +146,7 @@ func run(exp string, p experiments.Params, csvDir string, reg *obs.Registry, par
 	var tpcd, crm *experiments.Scenario
 	needTPCD := all || exp == "fig1" || exp == "fig2" || exp == "fig3" ||
 		exp == "table2" || exp == "sec73" || exp == "elim" || exp == "stability" ||
-		exp == "batching" || exp == "scaling" || exp == "parallel"
+		exp == "batching" || exp == "scaling" || exp == "parallel" || exp == "atoms"
 	needCRM := all || exp == "fig4" || exp == "table3"
 
 	var err error
@@ -335,6 +335,26 @@ func run(exp string, p experiments.Params, csvDir string, reg *obs.Registry, par
 		}
 		fmt.Fprintln(out)
 	}
+	if all || exp == "atoms" {
+		ks := []int{50, 200, 500}
+		rows, err := experiments.AtomSharing(tpcd, ks, p)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(out, "Atomic what-if sharing: call reduction on the Table 2 candidate spaces")
+		fmt.Fprintln(out, "(full cost surface, direct vs atom-sharing oracle, bit-identical costs required)")
+		for _, r := range rows {
+			fmt.Fprintf(out, "  k=%-4d queries=%-5d pairs=%-8d direct=%-8d shared=%-7d reduction=%5.1fx  atoms=%-6d hits=%-8d fallbacks=%d\n",
+				r.K, r.Queries, r.Pairs, r.DirectCalls, r.SharedCalls, r.Reduction, r.Atoms, r.AtomHits, r.Fallbacks)
+		}
+		if jsonOut != "" && exp == "atoms" {
+			if err := experiments.WriteAtomsJSON(jsonOut, rows); err != nil {
+				return err
+			}
+			fmt.Fprintf(out, "  wrote sharing curve to %s\n", jsonOut)
+		}
+		fmt.Fprintln(out)
+	}
 	if all || exp == "rho" {
 		rows, err := experiments.RhoSweep(p)
 		if err != nil {
@@ -349,7 +369,7 @@ func run(exp string, p experiments.Params, csvDir string, reg *obs.Registry, par
 	}
 	if !all {
 		switch exp {
-		case "table1", "fig1", "fig2", "fig3", "fig4", "table2", "table3", "sec73", "clt", "elim", "stability", "rho", "batching", "scaling", "parallel", "strat":
+		case "table1", "fig1", "fig2", "fig3", "fig4", "table2", "table3", "sec73", "clt", "elim", "stability", "rho", "batching", "scaling", "parallel", "strat", "atoms":
 		default:
 			return fmt.Errorf("unknown experiment %q", exp)
 		}

@@ -26,6 +26,26 @@ import (
 	"physdes/internal/workload"
 )
 
+// AtomSharingMode selects whether the live what-if oracle shares
+// atomic-configuration costs across the candidate set (see
+// internal/optimizer/atoms.go). The zero value enables sharing, so plain
+// Options{} and DefaultOptions get the cheaper oracle automatically.
+type AtomSharingMode int
+
+const (
+	// AtomSharingEnabled routes what-if probes through a memoized optimizer
+	// with atomic-configuration decomposition: overlapping configurations
+	// share (query, atom) costs and only never-seen atoms reach the
+	// optimizer. Probe values are bit-identical to direct costing
+	// (TestAtomicCostEquivalence), so with MaxCalls == 0 the Selection is
+	// identical too — only OptimizerCalls shrinks.
+	AtomSharingEnabled AtomSharingMode = iota
+	// AtomSharingDisabled forces every probe through a direct what-if call
+	// (the pre-sharing behaviour). Use it to measure raw oracle throughput
+	// or to reproduce call counts from runs predating atom sharing.
+	AtomSharingDisabled
+)
+
 // Options configures the comparison primitive. The zero value plus a Seed
 // reproduces the paper's Section 7.2 protocol.
 type Options struct {
@@ -86,6 +106,12 @@ type Options struct {
 	// internal/bounds).
 	Metrics *obs.Registry
 
+	// AtomSharing selects the oracle's cost-sharing layer (default
+	// AtomSharingEnabled). Sharing never changes probe values, so selections
+	// are bit-identical either way — except in fixed-budget mode (MaxCalls >
+	// 0), where the budget is spent against the inner call counter and the
+	// shared oracle stretches the same budget over many more probes.
+	AtomSharing AtomSharingMode
 	// MaxRetries re-attempts failed what-if probes (only meaningful when
 	// the oracle is fallible — a remote service, or a fault-injection
 	// decorator installed via WrapOracle). 0 disables retries.
@@ -246,9 +272,19 @@ func SelectCtx(ctx context.Context, opt *optimizer.Optimizer, w *workload.Worklo
 		obs.KV{Key: "alpha", Value: o.Alpha},
 		obs.KV{Key: "delta", Value: o.Delta},
 		obs.KV{Key: "conservative", Value: o.Conservative},
-		obs.KV{Key: "parallelism", Value: o.Parallelism})
+		obs.KV{Key: "parallelism", Value: o.Parallelism},
+		obs.KV{Key: "atom_sharing", Value: o.AtomSharing == AtomSharingEnabled})
 
-	var oracle sampling.Oracle = sampling.NewLiveOracle(opt, w, configs)
+	var oracle sampling.Oracle
+	if o.AtomSharing == AtomSharingEnabled {
+		shared := optimizer.NewCachedAtomic(opt)
+		if o.Metrics != nil {
+			shared.SetMetrics(o.Metrics)
+		}
+		oracle = sampling.NewSharedOracle(shared, w, configs)
+	} else {
+		oracle = sampling.NewLiveOracle(opt, w, configs)
+	}
 	if o.WrapOracle != nil {
 		oracle = o.WrapOracle(oracle)
 	}

@@ -53,6 +53,10 @@ func parallelOptions(seed uint64, workers int) core.Options {
 		MaxCalls:    20_000,
 		Seed:        seed,
 		Parallelism: workers,
+		// The curve measures raw what-if pool throughput under a fixed call
+		// budget; atom sharing would serve most probes from the atom store
+		// and measure memo lookups instead.
+		AtomSharing: core.AtomSharingDisabled,
 	}
 }
 

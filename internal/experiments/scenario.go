@@ -376,6 +376,15 @@ func subsample(w *workload.Workload, n int, seed uint64) *workload.Workload {
 // ones, so the obviously-good structures are shared by most candidates and
 // the differences are the realistic near-optimal trade-offs.
 func Space(s *Scenario, k int, seed uint64) ([]*physical.Configuration, *workload.CostMatrix) {
+	configs := buildSpace(s, k, seed)
+	m := workload.ComputeCostMatrix(s.Opt, s.W, configs)
+	return configs, m
+}
+
+// buildSpace is Space without the exact cost matrix: the k perturbed
+// configurations alone, for experiments that meter the what-if calls
+// themselves (the matrix would spend N·k of them up front).
+func buildSpace(s *Scenario, k int, seed uint64) []*physical.Configuration {
 	rng := stats.NewRNG(seed)
 	sub := subsample(s.W, 400, seed+5)
 	base := tuner.Greedy(s.Opt, s.Cat, sub, nil, s.Candidates,
@@ -423,8 +432,7 @@ func Space(s *Scenario, k int, seed uint64) ([]*physical.Configuration, *workloa
 		}
 		add(physical.NewConfiguration("cand", kept...))
 	}
-	m := workload.ComputeCostMatrix(s.Opt, s.W, configs)
-	return configs, m
+	return configs
 }
 
 func minInt2(a, b int) int {

@@ -144,7 +144,7 @@ func (o *Optimizer) indexAccess(a *sqlparse.Analysis, t *catalog.Table, ix *phys
 	seekSel := 1.0
 	matched := 0
 	for _, keyCol := range ix.Key {
-		p, kind := o.findSargable(a, t.Name, keyCol)
+		p, kind := findSargable(a, t.Name, keyCol)
 		if kind == sargEq {
 			seekSel *= o.predSelectivity(p)
 			matched++
@@ -269,7 +269,9 @@ const (
 
 // findSargable locates a conjunctive sargable predicate on table.column.
 // Equality (including IN, treated as a small set of seeks) beats range.
-func (o *Optimizer) findSargable(a *sqlparse.Analysis, table, column string) (sqlparse.ColumnPredicate, sargKind) {
+// It reads only the analysis, so the atom decomposition (atoms.go) shares
+// it to predict which indexes an access path can seek.
+func findSargable(a *sqlparse.Analysis, table, column string) (sqlparse.ColumnPredicate, sargKind) {
 	var rangePred sqlparse.ColumnPredicate
 	haveRange := false
 	for _, p := range a.Preds {

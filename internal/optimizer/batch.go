@@ -99,9 +99,11 @@ func (o *Optimizer) BatchIntoCtx(ctx context.Context, reqs []Request, out []floa
 
 // Batch evaluates every request through the memo table over a bounded
 // worker pool, returning costs in request order. Hits and misses are
-// accounted per request exactly like Cost; when several in-flight requests
-// miss on the same key concurrently, each pays an inner optimizer call and
-// the (identical, the cost model is pure) value is stored once.
+// accounted per request exactly like a serial loop of Cost calls: before
+// dispatch the batch is resolved against the memo and deduplicated by
+// cache key, so requests aliasing the same (statement, configuration)
+// within one batch charge a single miss — the first occurrence — and the
+// aliases count as hits (see TestCacheBatchAliasAccounting).
 func (c *Cached) Batch(reqs []Request, parallelism int) []float64 {
 	out := make([]float64, len(reqs))
 	c.BatchInto(reqs, out, parallelism)
@@ -132,7 +134,80 @@ func (c *Cached) BatchIntoCtx(ctx context.Context, reqs []Request, out []float64
 		}
 		return nil
 	}
-	return par.ForCtx(ctx, n, parallelism, func(i int) {
-		out[i] = c.Cost(reqs[i].Analysis, reqs[i].Config)
-	})
+	// Resolve memo hits and dedupe aliased misses serially before any pool
+	// dispatch: slot[i] is the index of request i's value in the unique
+	// miss list, or -1 when out[i] was already served from the memo.
+	m := c.metrics.Load()
+	slot := make([]int, n)
+	uniqIdx := make(map[cacheKey]int, n)
+	var uniq []Request
+	var uniqKeys []cacheKey
+	for i, r := range reqs {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		key := cacheKey{a: r.Analysis, cfg: r.Config.Fingerprint()}
+		if u, ok := uniqIdx[key]; ok {
+			// Alias of an in-batch miss: serial evaluation would find the
+			// first occurrence's stored value, so it counts as a hit.
+			slot[i] = u
+			c.hits.Add(1)
+			if m != nil {
+				m.hits.Inc()
+			}
+			continue
+		}
+		sh := &c.shards[shardIndex(key)]
+		sh.mu.RLock()
+		v, ok := sh.table[key]
+		sh.mu.RUnlock()
+		if ok {
+			out[i] = v
+			slot[i] = -1
+			c.hits.Add(1)
+			if m != nil {
+				m.hits.Inc()
+			}
+			continue
+		}
+		c.misses.Add(1)
+		if m != nil {
+			m.misses.Inc()
+		}
+		slot[i] = len(uniq)
+		uniqIdx[key] = len(uniq)
+		uniq = append(uniq, r)
+		uniqKeys = append(uniqKeys, key)
+	}
+	if len(uniq) == 0 {
+		return nil
+	}
+	vals := make([]float64, len(uniq))
+	var err error
+	if c.atoms != nil {
+		err = c.atoms.batchIntoCtx(ctx, uniq, vals, parallelism)
+	} else {
+		err = c.inner.BatchIntoCtx(ctx, uniq, vals, parallelism)
+	}
+	if err != nil {
+		return err
+	}
+	for u, key := range uniqKeys {
+		sh := &c.shards[shardIndex(key)]
+		sh.mu.Lock()
+		if _, dup := sh.table[key]; !dup {
+			sh.table[key] = vals[u]
+			c.entries.Add(1)
+		}
+		sh.mu.Unlock()
+	}
+	if m != nil {
+		m.entries.Set(float64(c.entries.Load()))
+	}
+	for i := range reqs {
+		if slot[i] >= 0 {
+			out[i] = vals[slot[i]]
+		}
+	}
+	return nil
 }

@@ -38,6 +38,66 @@ func TestCacheKeyPointerIdentity(t *testing.T) {
 	}
 }
 
+// TestCacheBatchAliasAccounting extends TestCacheKeyPointerIdentity to the
+// batched path: requests aliasing the same (analysis, config) key within
+// one parallel batch must charge exactly one miss (the first occurrence)
+// with the aliases counted as hits — the same accounting a serial loop of
+// Cost calls produces. Before the dedupe-before-dispatch fix, aliased
+// requests raced to miss independently and each paid an inner call.
+func TestCacheBatchAliasAccounting(t *testing.T) {
+	const distinct = 16
+	analyses := make([]*sqlparse.Analysis, distinct)
+	for i := range analyses {
+		analyses[i] = analyze(t, fmt.Sprintf(
+			"SELECT l_quantity FROM lineitem WHERE l_orderkey = %d", i+1))
+	}
+	cfg := physical.NewConfiguration("ix",
+		physical.NewIndex("lineitem", []string{"l_orderkey"}))
+
+	// Interleave two aliases of every key so the batch (32 requests) crosses
+	// the pool threshold and each key appears twice.
+	reqs := make([]Request, 0, 2*distinct)
+	for _, a := range analyses {
+		reqs = append(reqs, Request{Analysis: a, Config: cfg})
+	}
+	for _, a := range analyses {
+		reqs = append(reqs, Request{Analysis: a, Config: cfg})
+	}
+
+	// Serial reference: a plain Cost loop on a fresh cache.
+	ref := NewCached(New(testCat))
+	want := make([]float64, len(reqs))
+	for i, r := range reqs {
+		want[i] = ref.Cost(r.Analysis, r.Config)
+	}
+	refHits, refMisses, _ := ref.Stats()
+
+	for _, par := range []int{2, 4, 8} {
+		c := NewCached(New(testCat))
+		out := c.Batch(reqs, par)
+		for i := range want {
+			if out[i] != want[i] {
+				t.Fatalf("par=%d: out[%d] = %v, want %v", par, i, out[i], want[i])
+			}
+		}
+		hits, misses, entries := c.Stats()
+		if hits != refHits || misses != refMisses {
+			t.Errorf("par=%d: hits/misses = %d/%d, want serial accounting %d/%d",
+				par, hits, misses, refHits, refMisses)
+		}
+		if misses != distinct {
+			t.Errorf("par=%d: misses = %d, want %d (one per distinct key)", par, misses, distinct)
+		}
+		if entries != distinct {
+			t.Errorf("par=%d: entries = %d, want %d", par, entries, distinct)
+		}
+		if calls := c.Inner().Calls(); calls != distinct {
+			t.Errorf("par=%d: inner optimizer charged %d calls, want %d — aliased requests double-counted",
+				par, calls, distinct)
+		}
+	}
+}
+
 // TestCachedSameFingerprintSharesEntry is the flip side of pointer-identity
 // statement keys: two distinct *Configuration values built from the same
 // structures share a fingerprint, hence a cache entry.

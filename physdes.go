@@ -134,6 +134,23 @@ type (
 	// DegradePolicy selects how the resilience layer handles what-if
 	// probes that stay failed after retries (Options.Degrade).
 	DegradePolicy = resilience.Policy
+	// AtomSharingMode selects whether the selection's what-if oracle
+	// shares atomic sub-configuration costs across the candidate set
+	// (Options.AtomSharing; sharing is the zero-value default).
+	AtomSharingMode = core.AtomSharingMode
+	// AtomPlan is the decomposition of one (statement, configuration)
+	// what-if evaluation into shareable atoms (see DecomposeAtoms).
+	AtomPlan = optimizer.AtomPlan
+)
+
+// Atom-sharing modes for the selection oracle (Options.AtomSharing).
+const (
+	// AtomSharingEnabled decomposes probes into atomic sub-configurations
+	// and shares their costs across candidates — bit-identical values,
+	// far fewer optimizer calls (the default).
+	AtomSharingEnabled = core.AtomSharingEnabled
+	// AtomSharingDisabled sends every probe through a direct what-if call.
+	AtomSharingDisabled = core.AtomSharingDisabled
 )
 
 // Degradation policies for fallible oracles (Options.Degrade).
@@ -178,6 +195,21 @@ func NewOptimizer(cat *Catalog) *Optimizer { return optimizer.New(cat) }
 // configuration) memo table, as tuning tools layer over the what-if API;
 // hits are not charged to the wrapped optimizer's call counter.
 func NewCachedOptimizer(opt *Optimizer) *CachedOptimizer { return optimizer.NewCached(opt) }
+
+// NewAtomicOptimizer wraps an optimizer with the memo table plus
+// atomic-configuration what-if sharing: cache misses are decomposed into
+// the atomic sub-configurations the plan can read, each (statement, atom)
+// pair is costed once, and full-configuration costs are reassembled
+// exactly — bit-identical to direct costing with far fewer optimizer calls
+// across overlapping configurations.
+func NewAtomicOptimizer(opt *Optimizer) *CachedOptimizer { return optimizer.NewCachedAtomic(opt) }
+
+// DecomposeAtoms splits the evaluation of a statement under cfg into atoms
+// whose cost minimum reproduces the direct cost exactly; maxWidth <= 0
+// selects the default projection-width bound.
+func DecomposeAtoms(a *sqlparse.Analysis, cfg *Configuration, maxWidth int) AtomPlan {
+	return optimizer.Decompose(a, cfg, maxWidth)
+}
 
 // NewTracer returns a tracer writing structured JSONL events to w; set it
 // on Options.Tracer to record every sampling round, split, elimination
