@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all check build test test-race vet lint fmt fuzz bench bench-parallel bench-strat bench-atoms experiments experiments-paper cover clean
+.PHONY: all check build test test-race vet lint lint-self fmt fuzz bench bench-parallel bench-strat bench-atoms experiments experiments-paper cover clean
 
 all: build vet lint test
 
@@ -18,11 +18,20 @@ build:
 vet:
 	$(GO) vet ./...
 
-# Custom go/analysis-style suite (norandglobal, nomaprange, nowallclock,
-# lockcheck, tracenames): machine-enforces the seed-reproducibility and
-# locking invariants behind Pr(CS) ≥ α and bit-identical parallelism.
+# Custom go/analysis-style suite — five intraprocedural analyzers
+# (norandglobal, nomaprange, nowallclock, lockcheck, tracenames) plus
+# four interprocedural ones on the flow call graph (ctxflow, errdrop,
+# determtaint, zeroalloc): machine-enforces the seed-reproducibility,
+# cancellation, error-handling and zero-alloc invariants behind
+# Pr(CS) ≥ α and bit-identical parallelism. The suite type-checks
+# against GOROOT source and fails fast with an actionable error if the
+# toolchain install has no stdlib sources. lint-self turns the suite on
+# itself (internal/analysis/...).
 lint:
 	$(GO) run ./cmd/physdeslint ./...
+
+lint-self:
+	$(GO) run ./cmd/physdeslint -self
 
 fmt:
 	gofmt -l -w .
@@ -75,12 +84,15 @@ experiments-paper:
 # the gate while normal churn does not. Raise the floor when coverage
 # grows; never lower it to make a PR pass.
 COVER_FLOOR ?= 79.0
+COVER_DIR ?= build
 cover:
-	$(GO) test -coverprofile=cover.out ./...
-	@total=$$($(GO) tool cover -func=cover.out | tail -1 | awk '{print $$NF}' | tr -d '%'); \
+	@mkdir -p $(COVER_DIR)
+	$(GO) test -coverprofile=$(COVER_DIR)/cover.out ./...
+	@total=$$($(GO) tool cover -func=$(COVER_DIR)/cover.out | tail -1 | awk '{print $$NF}' | tr -d '%'); \
 	awk -v t=$$total -v f=$(COVER_FLOOR) 'BEGIN { \
 		if (t+0 < f+0) { printf "total coverage %.1f%% is below the floor %.1f%%\n", t, f; exit 1 } \
 		printf "total coverage %.1f%% (floor %.1f%%)\n", t, f }'
 
 clean:
 	rm -f cover.out test_output.txt bench_output.txt
+	rm -rf build

@@ -180,7 +180,9 @@ func run(exp string, p experiments.Params, csvDir string, reg *obs.Registry, par
 		if err != nil {
 			return err
 		}
-		experiments.PrintSigmaRows(out, rows)
+		if err := experiments.PrintSigmaRows(out, rows); err != nil {
+			return err
+		}
 		writeCSV("table1", func() error { return experiments.WriteSigmaCSV(csvDir, "table1", rows) })
 		fmt.Fprintln(out)
 	}
@@ -189,7 +191,9 @@ func run(exp string, p experiments.Params, csvDir string, reg *obs.Registry, par
 		fmt.Fprintf(out, "Figure 1: TPC-D easy pair (gap %.1f%%, overlap %.2f, C1 views=%d)\n",
 			100*pair.Gap, pair.Overlap, len(pair.Configs[0].Views()))
 		series := experiments.Figure(tpcd, pair, experiments.FigureVariants(), p)
-		experiments.PrintSeries(out, "Monte-Carlo true Pr(CS) by optimizer-call budget:", series)
+		if err := experiments.PrintSeries(out, "Monte-Carlo true Pr(CS) by optimizer-call budget:", series); err != nil {
+			return err
+		}
 		writeCSV("fig1", func() error { return experiments.WriteSeriesCSV(csvDir, "fig1", series) })
 		fmt.Fprintln(out)
 	}
@@ -202,7 +206,9 @@ func run(exp string, p experiments.Params, csvDir string, reg *obs.Registry, par
 		fmt.Fprintf(out, "Figure 2: progressive vs fine stratification (hard pair, gap %.2f%%)\n",
 			100*pair.Gap)
 		series := experiments.Figure(tpcd, pair, experiments.Fig2Variants(), p)
-		experiments.PrintSeries(out, "Monte-Carlo true Pr(CS) by optimizer-call budget:", series)
+		if err := experiments.PrintSeries(out, "Monte-Carlo true Pr(CS) by optimizer-call budget:", series); err != nil {
+			return err
+		}
 		writeCSV("fig2", func() error { return experiments.WriteSeriesCSV(csvDir, "fig2", series) })
 		fmt.Fprintln(out)
 	}
@@ -211,7 +217,9 @@ func run(exp string, p experiments.Params, csvDir string, reg *obs.Registry, par
 		fmt.Fprintf(out, "Figure 3: TPC-D hard pair (gap %.2f%%, overlap %.2f, both index-only)\n",
 			100*pair.Gap, pair.Overlap)
 		series := experiments.Figure(tpcd, pair, experiments.FigureVariants(), p)
-		experiments.PrintSeries(out, "Monte-Carlo true Pr(CS) by optimizer-call budget:", series)
+		if err := experiments.PrintSeries(out, "Monte-Carlo true Pr(CS) by optimizer-call budget:", series); err != nil {
+			return err
+		}
 		writeCSV("fig3", func() error { return experiments.WriteSeriesCSV(csvDir, "fig3", series) })
 		fmt.Fprintln(out)
 	}
@@ -220,19 +228,25 @@ func run(exp string, p experiments.Params, csvDir string, reg *obs.Registry, par
 		fmt.Fprintf(out, "Figure 4: CRM pair (gap %.2f%%, overlap %.2f, %d templates)\n",
 			100*pair.Gap, pair.Overlap, crm.W.NumTemplates())
 		series := experiments.Figure(crm, pair, experiments.FigureVariants(), p)
-		experiments.PrintSeries(out, "Monte-Carlo true Pr(CS) by optimizer-call budget:", series)
+		if err := experiments.PrintSeries(out, "Monte-Carlo true Pr(CS) by optimizer-call budget:", series); err != nil {
+			return err
+		}
 		writeCSV("fig4", func() error { return experiments.WriteSeriesCSV(csvDir, "fig4", series) })
 		fmt.Fprintln(out)
 	}
 	if all || exp == "table2" {
 		rows := experiments.MultiConfigAll(tpcd, p)
-		experiments.PrintMultiRows(out, "Table 2: Results for TPC-D workload (α=90%)", rows, p.Ks)
+		if err := experiments.PrintMultiRows(out, "Table 2: Results for TPC-D workload (α=90%)", rows, p.Ks); err != nil {
+			return err
+		}
 		writeCSV("table2", func() error { return experiments.WriteMultiCSV(csvDir, "table2", rows) })
 		fmt.Fprintln(out)
 	}
 	if all || exp == "table3" {
 		rows := experiments.MultiConfigAll(crm, p)
-		experiments.PrintMultiRows(out, "Table 3: Results for CRM workload (α=90%)", rows, p.Ks)
+		if err := experiments.PrintMultiRows(out, "Table 3: Results for CRM workload (α=90%)", rows, p.Ks); err != nil {
+			return err
+		}
 		writeCSV("table3", func() error { return experiments.WriteMultiCSV(csvDir, "table3", rows) })
 		fmt.Fprintln(out)
 	}
@@ -241,7 +255,9 @@ func run(exp string, p experiments.Params, csvDir string, reg *obs.Registry, par
 		if err != nil {
 			return err
 		}
-		experiments.PrintCompressionRows(out, rows)
+		if err := experiments.PrintCompressionRows(out, rows); err != nil {
+			return err
+		}
 		fmt.Fprintln(out)
 	}
 	if all || exp == "clt" {
@@ -254,7 +270,9 @@ func run(exp string, p experiments.Params, csvDir string, reg *obs.Registry, par
 			}
 			rows = append(rows, r)
 		}
-		experiments.PrintCLTRows(out, rows)
+		if err := experiments.PrintCLTRows(out, rows); err != nil {
+			return err
+		}
 		fmt.Fprintln(out)
 	}
 	if all || exp == "elim" {

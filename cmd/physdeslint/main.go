@@ -21,24 +21,35 @@ import (
 	"strings"
 
 	"physdes/internal/analysis"
+	"physdes/internal/analysis/ctxflow"
+	"physdes/internal/analysis/determtaint"
+	"physdes/internal/analysis/errdrop"
 	"physdes/internal/analysis/lockcheck"
 	"physdes/internal/analysis/nomaprange"
 	"physdes/internal/analysis/norandglobal"
 	"physdes/internal/analysis/nowallclock"
 	"physdes/internal/analysis/tracenames"
+	"physdes/internal/analysis/zeroalloc"
 )
 
-// Suite is every analyzer the gate runs, in diagnostic-prefix order.
+// Suite is every analyzer the gate runs, in diagnostic-prefix order:
+// the five intraprocedural analyzers of PR 3 plus the four
+// interprocedural ones built on the flow call graph.
 var Suite = []*analysis.Analyzer{
+	ctxflow.Analyzer,
+	determtaint.Analyzer,
+	errdrop.Analyzer,
 	lockcheck.Analyzer,
 	nomaprange.Analyzer,
 	norandglobal.Analyzer,
 	nowallclock.Analyzer,
 	tracenames.Analyzer,
+	zeroalloc.Analyzer,
 }
 
 func main() {
 	list := flag.Bool("list", false, "list analyzers and exit")
+	self := flag.Bool("self", false, "lint the lint suite itself (restrict to internal/analysis/...)")
 	flag.Parse()
 	if *list {
 		for _, a := range Suite {
@@ -51,7 +62,11 @@ func main() {
 		fmt.Fprintln(os.Stderr, "physdeslint:", err)
 		os.Exit(2)
 	}
-	n, err := Run(os.Stdout, cwd, flag.Args())
+	patterns := flag.Args()
+	if *self {
+		patterns = append(patterns[:len(patterns):len(patterns)], "internal/analysis")
+	}
+	n, err := Run(os.Stdout, cwd, patterns)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "physdeslint:", err)
 		os.Exit(2)
@@ -74,6 +89,10 @@ func Run(w io.Writer, dir string, patterns []string) (int, error) {
 	if err != nil {
 		return 0, err
 	}
+	// The invariants hold for test code too: a benchmark helper that
+	// allocates inside a zeroalloc chain, or a test dropping an oracle
+	// error, undermines the gate it supports.
+	loader.IncludeTests = true
 	pkgs, err := loader.LoadAll()
 	if err != nil {
 		return 0, err
@@ -84,19 +103,23 @@ func Run(w io.Writer, dir string, patterns []string) (int, error) {
 			keep = append(keep, strings.TrimPrefix(p, "./"))
 		}
 	}
+	// The filter narrows which packages are *reported on*; the full load
+	// still backs the shared interprocedural state so callees outside the
+	// selection resolve (a zeroalloc chain crossing into another package
+	// must not look like a call out of the module).
+	selected := pkgs
 	if len(keep) > 0 {
-		filtered := pkgs[:0]
+		selected = nil
 		for _, pkg := range pkgs {
 			for _, p := range keep {
 				if strings.Contains(pkg.Path, p) {
-					filtered = append(filtered, pkg)
+					selected = append(selected, pkg)
 					break
 				}
 			}
 		}
-		pkgs = filtered
 	}
-	diags, err := analysis.RunAnalyzers(pkgs, Suite, loader.Fset, root)
+	diags, err := analysis.RunAnalyzersOn(pkgs, selected, Suite, loader.Fset, root)
 	if err != nil {
 		return 0, err
 	}

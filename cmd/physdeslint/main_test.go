@@ -101,6 +101,97 @@ func Note(t *Tracer) { t.Emit("unregistered.event") }
 	}
 }
 
+// TestSeededInterproceduralViolationsFailGate mirrors
+// TestSeededViolationFailsGate for the four flow-graph analyzers: one
+// planted violation of each invariant must surface under its analyzer's
+// name.
+func TestSeededInterproceduralViolationsFailGate(t *testing.T) {
+	root := writeModule(t, map[string]string{
+		"go.mod": "module seedflow\n\ngo 1.22\n",
+		// ctxflow violation: a library function detaches its call tree
+		// with context.Background instead of accepting a context.
+		"internal/core/fire.go": `package core
+
+import "context"
+
+func Fire() { work(context.Background()) }
+
+func work(ctx context.Context) { <-ctx.Done() }
+`,
+		// errdrop violation: an error result discarded into the blank
+		// identifier before inspection.
+		"internal/cost/drop.go": `package cost
+
+import "errors"
+
+func mayFail() error { return errors.New("boom") }
+
+func Drop() { _ = mayFail() }
+`,
+		// determtaint violation: a map-iteration-order value flows
+		// through a local into a result-affecting return.
+		"internal/sampling/first.go": `package sampling
+
+func First(m map[string]int) string {
+	var first string
+	for k := range m {
+		first = k
+	}
+	return first
+}
+`,
+		// zeroalloc violation: an annotated hot-path function allocates.
+		"internal/stats/fill.go": `package stats
+
+//physdes:zeroalloc
+func Fill(n int) []int { return make([]int, n) }
+`,
+	})
+	var out strings.Builder
+	n, err := Run(&out, root, nil)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if n < 4 {
+		t.Fatalf("want at least one violation per analyzer (≥4), got %d:\n%s", n, out.String())
+	}
+	for _, want := range []string{"ctxflow", "errdrop", "determtaint", "zeroalloc"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("no %s diagnostic in output:\n%s", want, out.String())
+		}
+	}
+}
+
+// TestFilteredRunSharesWholeModuleSummaries pins the driver contract that
+// pattern filtering narrows reporting, not the call graph: a zeroalloc
+// chain crossing into an unselected package must still resolve the
+// callee's summary instead of flagging it as an unknown external call.
+func TestFilteredRunSharesWholeModuleSummaries(t *testing.T) {
+	root := writeModule(t, map[string]string{
+		"go.mod": "module seedshared\n\ngo 1.22\n",
+		"internal/sampling/hot.go": `package sampling
+
+import "seedshared/internal/stats"
+
+//physdes:zeroalloc
+func Hot(a, b float64) float64 { return stats.AddProduct(a, b) }
+`,
+		"internal/stats/math.go": `package stats
+
+//physdes:zeroalloc
+func AddProduct(a, b float64) float64 { return a * b }
+`,
+	})
+	var out strings.Builder
+	n, err := Run(&out, root, []string{"internal/sampling"})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if n != 0 {
+		t.Fatalf("filtered run must resolve cross-package callees, got %d:\n%s", n, out.String())
+	}
+}
+
 // TestCleanModulePasses is the inverse fixture: the gate must stay quiet
 // on a module that honors every invariant.
 func TestCleanModulePasses(t *testing.T) {

@@ -18,6 +18,7 @@ import (
 	"go/types"
 	"sort"
 	"strings"
+	"sync"
 )
 
 // Analyzer describes one static check.
@@ -30,7 +31,13 @@ type Analyzer struct {
 	// package with the given import path. A nil AppliesTo means every
 	// package. The driver consults it; test harnesses run the analyzer
 	// unconditionally so fixtures need not mimic real import paths.
+	// Test variants of a package are matched by their base import path.
 	AppliesTo func(pkgPath string) bool
+	// IncludeTests extends the check to _test.go files. Most analyzers
+	// leave it false: tests legitimately use fixed seeds, wall clocks
+	// and ad-hoc trace names. Checks whose invariants hold everywhere
+	// (lock discipline, zero-alloc contracts) opt in.
+	IncludeTests bool
 	// Run performs the check, reporting findings via pass.Reportf.
 	Run func(pass *Pass) error
 }
@@ -39,15 +46,53 @@ type Analyzer struct {
 type Pass struct {
 	Analyzer *Analyzer
 	Fset     *token.FileSet
-	Files    []*ast.File
-	Pkg      *types.Package
-	Info     *types.Info
+	// Files are the files the analyzer reports on. For a test variant of
+	// a package this is only the _test.go files (the base files were
+	// already analyzed under the base package), and it is pre-filtered
+	// by Analyzer.IncludeTests.
+	Files []*ast.File
+	Pkg   *types.Package
+	Info  *types.Info
 	// ModuleRoot is the directory containing go.mod, for analyzers that
 	// consult repository documents (e.g. tracenames reads DESIGN.md).
 	// Empty in ad-hoc test harness runs unless the harness sets it.
 	ModuleRoot string
+	// Shared is the per-run state shared by every pass of a driver run:
+	// the full loaded package set plus a memo space. The interprocedural
+	// flow layer caches its module-wide call graph here so each analyzer
+	// reuses one set of function summaries instead of rebuilding them.
+	Shared *Shared
 
 	diags []Diagnostic
+}
+
+// Shared is driver-run-scoped state handed to every Pass.
+type Shared struct {
+	// Packages is every loaded package of the run, including test
+	// variants, in deterministic order.
+	Packages []*Package
+
+	mu   sync.Mutex
+	vals map[string]any
+}
+
+// NewShared prepares shared state over the given package set.
+func NewShared(pkgs []*Package) *Shared {
+	return &Shared{Packages: pkgs, vals: map[string]any{}}
+}
+
+// Memo returns the value cached under key, computing and caching it via
+// build on first use. Analyzers use it to share expensive module-wide
+// state (the flow call graph) across passes.
+func (s *Shared) Memo(key string, build func() any) any {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if v, ok := s.vals[key]; ok {
+		return v
+	}
+	v := build()
+	s.vals[key] = v
+	return v
 }
 
 // Diagnostic is one finding.

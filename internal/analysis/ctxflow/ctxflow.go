@@ -1,0 +1,166 @@
+// Package ctxflow enforces cancellation threading across function
+// boundaries.
+//
+// PR 5 threaded context.Context through the oracle pipeline so a
+// cancelled run stops promptly with no leaked goroutines; that property
+// only survives if every intermediate frame keeps forwarding the
+// context. Three checks, all on the flow call graph:
+//
+//  1. context.Background()/context.TODO() in a library, non-test
+//     function detaches everything below it from the caller's
+//     cancellation. Deliberate detachment points (the ctx-less
+//     compatibility wrappers) carry an annotation:
+//
+//     //physdes:detachedctx compatibility wrapper; ForCtx is the cancellable path
+//
+//  2. A function that receives a context but never references it while
+//     calling context-accepting callees has dropped cancellation on the
+//     floor.
+//
+//  3. A function holding a context that calls Foo when a FooCtx sibling
+//     exists routes the subtree around cancellation entirely.
+package ctxflow
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"physdes/internal/analysis"
+	"physdes/internal/analysis/flow"
+)
+
+// Marker is the suppression annotation suffix: //physdes:detachedctx.
+const Marker = "detachedctx"
+
+var Analyzer = &analysis.Analyzer{
+	Name:      "ctxflow",
+	Doc:       "require functions holding a context.Context to forward it; forbid context.Background/TODO outside main and tests",
+	AppliesTo: analysis.IsLibraryPackage,
+	Run:       run,
+}
+
+func run(pass *analysis.Pass) error {
+	ix := flow.Of(pass)
+
+	// Check 1 walks whole files so package-level detachments
+	// (var bg = context.Background()) are caught too.
+	for _, file := range pass.Files {
+		ann := ix.Annotations(file, Marker)
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			for _, name := range []string{"Background", "TODO"} {
+				if !analysis.IsPkgCall(pass.Info, call, "context", name) {
+					continue
+				}
+				if reason, ok := analysis.Annotated(ann, pass.Fset, call.Pos()); ok {
+					if reason == "" {
+						pass.Reportf(call.Pos(),
+							"//physdes:%s needs a justification explaining why detaching from the caller's context is safe here", Marker)
+					}
+					continue
+				}
+				pass.Reportf(call.Pos(),
+					"context.%s() detaches this call tree from the caller's cancellation; accept a context.Context parameter and forward it (or annotate //physdes:%s <why>)", name, Marker)
+			}
+			return true
+		})
+	}
+
+	for _, fi := range ix.PassFuncs(pass) {
+		if len(fi.CtxParams) == 0 || fi.Decl.Body == nil {
+			continue
+		}
+		checkForwarding(pass, ix, fi)
+	}
+	return nil
+}
+
+// checkForwarding runs checks 2 and 3 on one context-holding function.
+func checkForwarding(pass *analysis.Pass, ix *flow.Index, fi *flow.FuncInfo) {
+	seeds := map[types.Object]string{}
+	for _, p := range fi.CtxParams {
+		// A blank context parameter is a declared decision to ignore it
+		// (interface conformance); check 1 still guards what the body
+		// substitutes for it.
+		if p.Name() == "" || p.Name() == "_" {
+			continue
+		}
+		seeds[p] = "ctx parameter " + p.Name()
+	}
+	if len(seeds) == 0 {
+		return
+	}
+	// Check 2: is any ctx parameter referenced at all?
+	used := false
+	ast.Inspect(fi.Decl.Body, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		if obj := pass.Info.Uses[id]; obj != nil {
+			if _, isSeed := seeds[obj]; isSeed {
+				used = true
+			}
+		}
+		return true
+	})
+
+	ctxAccepting := 0
+	for _, call := range fi.Calls {
+		if call.Callee == nil {
+			continue
+		}
+		if calleeAcceptsCtx(call.Callee) {
+			ctxAccepting++
+			continue
+		}
+		// Check 3: a ctx-less call with a Ctx sibling bypasses
+		// cancellation for the whole subtree.
+		if sib := ix.CtxVariant(call.Callee); sib != nil {
+			if reason, ok := ix.SiteAnnotation(fi, Marker, call.Expr.Pos()); ok {
+				if reason == "" {
+					pass.Reportf(call.Expr.Pos(),
+						"//physdes:%s needs a justification explaining why %s may bypass cancellation", Marker, call.Callee.Name())
+				}
+				continue
+			}
+			pass.Reportf(call.Expr.Pos(),
+				"%s holds a context but calls %s, which cannot be cancelled; call %s with the context (or annotate //physdes:%s <why>)",
+				fi.Obj.Name(), call.Callee.Name(), sib.Name(), Marker)
+		}
+	}
+
+	if !used && ctxAccepting > 0 {
+		if reason, ok := ix.SiteAnnotation(fi, Marker, fi.Decl.Pos()); ok {
+			if reason == "" {
+				pass.Reportf(fi.Decl.Pos(),
+					"//physdes:%s needs a justification explaining why the context is deliberately unused", Marker)
+			}
+			return
+		}
+		names := make([]string, 0, len(fi.CtxParams))
+		for _, p := range fi.CtxParams {
+			names = append(names, p.Name())
+		}
+		pass.Reportf(fi.Decl.Pos(),
+			"%s receives context %s but never forwards it, while %d of its callees accept a context; pass the context through (or annotate //physdes:%s <why>)",
+			fi.Obj.Name(), strings.Join(names, ", "), ctxAccepting, Marker)
+	}
+}
+
+func calleeAcceptsCtx(fn *types.Func) bool {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok {
+		return false
+	}
+	for i := 0; i < sig.Params().Len(); i++ {
+		if flow.IsContextType(sig.Params().At(i).Type()) {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,25 @@
+package ctxflow_test
+
+import (
+	"testing"
+
+	"physdes/internal/analysis/analysistest"
+	"physdes/internal/analysis/ctxflow"
+)
+
+func TestCtxFlow(t *testing.T) {
+	analysistest.Run(t, ctxflow.Analyzer, "testdata/src/a")
+}
+
+func TestAppliesTo(t *testing.T) {
+	for path, want := range map[string]bool{
+		"physdes/internal/core":     true,
+		"physdes/internal/obs/live": true,
+		"physdes/cmd/physdes":       false, // main wires the root context
+		"physdes/cmd/physdeslint":   false,
+	} {
+		if got := ctxflow.Analyzer.AppliesTo(path); got != want {
+			t.Errorf("AppliesTo(%q) = %v, want %v", path, got, want)
+		}
+	}
+}

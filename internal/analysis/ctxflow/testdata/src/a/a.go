@@ -1,0 +1,87 @@
+package a
+
+import "context"
+
+// search is the ctx-less legacy entry point; searchCtx is its
+// cancellable sibling. Both are exercised by the checks below.
+func search(n int) int { return n }
+
+func searchCtx(ctx context.Context, n int) int {
+	if ctx.Err() != nil {
+		return 0
+	}
+	return n
+}
+
+// detached builds a fresh root context inside a library function.
+func detached() {
+	ctx := context.Background() // want "detaches this call tree"
+	searchCtx(ctx, 1)
+}
+
+// todoToo: context.TODO is the same hole with a different name.
+func todoToo() {
+	searchCtx(context.TODO(), 1) // want "detaches this call tree"
+}
+
+// annotatedDetach is a sanctioned detachment point.
+func annotatedDetach() {
+	//physdes:detachedctx compatibility wrapper; callers hold no context
+	ctx := context.Background()
+	searchCtx(ctx, 1)
+}
+
+// missingReason: an annotation with no justification is itself an error.
+func missingReason() {
+	//physdes:detachedctx
+	ctx := context.Background() // want "needs a justification"
+	searchCtx(ctx, 1)
+}
+
+// dropsCtx receives a context, calls a context-accepting callee, and
+// never references the parameter: cancellation dropped on the floor.
+func dropsCtx(ctx context.Context, n int) int { // want "receives context ctx but never forwards it"
+	return searchCtx(context.TODO(), n) // want "detaches this call tree"
+}
+
+// annotatedDrop is the suppressed form of the same shape.
+//
+//physdes:detachedctx interface conformance; callee manages its own deadline
+func annotatedDrop(ctx context.Context, n int) int {
+	return searchCtx(context.TODO(), n) // want "detaches this call tree"
+}
+
+// blankCtx declares its decision to ignore the context in the
+// signature; only check 1 applies to its body.
+func blankCtx(_ context.Context, n int) int {
+	return searchCtx(context.TODO(), n) // want "detaches this call tree"
+}
+
+// bypasses holds a context but routes the subtree through the
+// uncancellable sibling.
+func bypasses(ctx context.Context, n int) int {
+	if ctx.Err() != nil {
+		return 0
+	}
+	return search(n) // want "calls search, which cannot be cancelled; call searchCtx"
+}
+
+// annotatedBypass is the suppressed form.
+func annotatedBypass(ctx context.Context, n int) int {
+	if ctx.Err() != nil {
+		return 0
+	}
+	//physdes:detachedctx result is discarded; subtree runs for its side effect log only
+	return search(n)
+}
+
+// forwards is the correct shape: the context reaches every callee.
+func forwards(ctx context.Context, n int) int {
+	return searchCtx(ctx, n)
+}
+
+// noCtxCallees uses no context-accepting callee, so an unused context
+// parameter is not a finding (nothing downstream could consume it).
+func noCtxCallees(ctx context.Context, n int) int {
+	return n + 1
+}

@@ -1,0 +1,126 @@
+// Package determtaint is the interprocedural extension of norandglobal,
+// nomaprange and nowallclock: those analyzers flag nondeterminism
+// *sources* in result-affecting packages, this one follows the *values*.
+// A quantity derived from map iteration order, a wall clock, or an
+// unseeded RNG — possibly produced by a helper in a package the source
+// analyzers do not cover, and imported through any number of calls —
+// must not reach a result-affecting return, a trace event, or a cache
+// key. The flow layer's TaintedReturn summaries carry taint across
+// function and package boundaries; the forward engine tracks it through
+// local assignments.
+//
+// Justified nondeterminism (e.g. an order-insensitive aggregate that is
+// sorted before use) is suppressed with:
+//
+//	//physdes:nondetok sorted before comparison; order cannot affect the result
+package determtaint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"physdes/internal/analysis"
+	"physdes/internal/analysis/flow"
+)
+
+// Marker is the suppression annotation suffix: //physdes:nondetok.
+const Marker = flow.NondetOKMarker
+
+// resultAffecting mirrors nomaprange's package set: the packages whose
+// outputs are part of the determinism contract. Helpers elsewhere may
+// produce tainted values freely — the taint is only a violation when it
+// flows into one of these packages' results.
+var resultAffecting = []string{
+	"internal/sampling",
+	"internal/core",
+	"internal/bounds",
+	"internal/tuner",
+	"internal/optimizer",
+}
+
+var Analyzer = &analysis.Analyzer{
+	Name: "determtaint",
+	Doc:  "forbid values tainted by map order, wall clocks or global RNG from reaching result-affecting returns, trace events or cache keys",
+	AppliesTo: func(pkgPath string) bool {
+		for _, s := range resultAffecting {
+			if analysis.HasPathSuffix(pkgPath, s) {
+				return true
+			}
+		}
+		return false
+	},
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	ix := flow.Of(pass)
+	for _, fi := range ix.PassFuncs(pass) {
+		if fi.Decl.Body == nil {
+			continue
+		}
+		tt := ix.Propagate(fi, flow.DetermConfig())
+		ann := ix.Annotations(fi.File, Marker)
+		report := func(pos token.Pos, sinkPos token.Pos, format string, args ...any) {
+			if reason, ok := analysis.Annotated(ann, pass.Fset, sinkPos); ok {
+				if reason == "" {
+					pass.Reportf(sinkPos,
+						"//physdes:%s needs a justification explaining why this nondeterminism cannot affect the result", Marker)
+				}
+				return
+			}
+			pass.Reportf(pos, format, args...)
+		}
+		ast.Inspect(fi.Decl.Body, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.ReturnStmt:
+				for _, res := range n.Results {
+					if reason, tainted := tt.Tainted(res); tainted {
+						report(res.Pos(), n.Pos(),
+							"return value of %s is tainted by %s in a result-affecting package; derive it deterministically (or annotate //physdes:%s <why>)",
+							fi.Obj.Name(), reason, Marker)
+						break
+					}
+				}
+			case *ast.CallExpr:
+				checkTraceSink(pass, tt, report, n)
+			case *ast.IndexExpr:
+				// A tainted cache key makes hit patterns — and therefore
+				// call budgets and degradation decisions — run-dependent.
+				if tv, ok := pass.Info.Types[n.X]; ok && tv.Type != nil {
+					if _, isMap := tv.Type.Underlying().(*types.Map); isMap {
+						if reason, tainted := tt.Tainted(n.Index); tainted {
+							report(n.Index.Pos(), n.Pos(),
+								"map/cache key is tainted by %s; keys must be deterministic (or annotate //physdes:%s <why>)",
+								reason, Marker)
+						}
+					}
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// checkTraceSink flags tainted values flowing into Tracer.Emit/Begin
+// event payloads: traces are replayed byte-for-byte by the recorder and
+// compared across runs, so a tainted field breaks trace bit-identity.
+func checkTraceSink(pass *analysis.Pass, tt *flow.Taint, report func(pos, sinkPos token.Pos, format string, args ...any), call *ast.CallExpr) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || (sel.Sel.Name != "Emit" && sel.Sel.Name != "Begin") {
+		return
+	}
+	recv := analysis.NamedReceiver(pass.Info, sel)
+	if recv == nil || recv.Obj().Name() != "Tracer" {
+		return
+	}
+	for _, arg := range call.Args {
+		if reason, tainted := tt.Tainted(arg); tainted {
+			report(arg.Pos(), call.Pos(),
+				"trace event payload is tainted by %s; traces must be bit-identical across runs of one seed (or annotate //physdes:%s <why>)",
+				reason, Marker)
+			return
+		}
+	}
+}

@@ -1,0 +1,28 @@
+package determtaint_test
+
+import (
+	"testing"
+
+	"physdes/internal/analysis/analysistest"
+	"physdes/internal/analysis/determtaint"
+)
+
+func TestDetermTaint(t *testing.T) {
+	analysistest.Run(t, determtaint.Analyzer, "testdata/src/a")
+}
+
+func TestAppliesTo(t *testing.T) {
+	for path, want := range map[string]bool{
+		"physdes/internal/sampling":  true,
+		"physdes/internal/core":      true,
+		"physdes/internal/bounds":    true,
+		"physdes/internal/tuner":     true,
+		"physdes/internal/optimizer": true,
+		"physdes/internal/workload":  false, // helpers here taint callers, not themselves
+		"physdes/internal/obs":       false,
+	} {
+		if got := determtaint.Analyzer.AppliesTo(path); got != want {
+			t.Errorf("AppliesTo(%q) = %v, want %v", path, got, want)
+		}
+	}
+}

@@ -1,0 +1,24 @@
+package errdrop_test
+
+import (
+	"testing"
+
+	"physdes/internal/analysis/analysistest"
+	"physdes/internal/analysis/errdrop"
+)
+
+func TestErrDrop(t *testing.T) {
+	analysistest.Run(t, errdrop.Analyzer, "testdata/src/a")
+}
+
+func TestAppliesTo(t *testing.T) {
+	for path, want := range map[string]bool{
+		"physdes/internal/cost":     true,
+		"physdes/internal/obs/live": true,
+		"physdes/cmd/physdes":       false, // main reports errors to the user directly
+	} {
+		if got := errdrop.Analyzer.AppliesTo(path); got != want {
+			t.Errorf("AppliesTo(%q) = %v, want %v", path, got, want)
+		}
+	}
+}

@@ -1,0 +1,94 @@
+package a
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+)
+
+func oracle() (float64, error) { return 0, errors.New("fault") }
+
+func flush() error { return nil }
+
+// blankDiscard throws the oracle's error away.
+func blankDiscard() float64 {
+	v, _ := oracle() // want "error result assigned to _"
+	return v
+}
+
+// bareCall drops the only signal flush produces.
+func bareCall() {
+	flush() // want "result 0 of flush is an error and is discarded"
+}
+
+// bareTuple drops an error buried in a tuple.
+func bareTuple() {
+	oracle() // want "result 1 of oracle is an error and is discarded"
+}
+
+// overwritten loses the first fault before anything inspected it.
+func overwritten() error {
+	_, err := oracle()
+	_, err = oracle() // want "err is overwritten before the error assigned at line 31"
+	return err
+}
+
+// handled is the correct shape at every step.
+func handled() (float64, error) {
+	v, err := oracle()
+	if err != nil {
+		return 0, err
+	}
+	if err := flush(); err != nil {
+		return 0, err
+	}
+	return v, nil
+}
+
+// inspectedThenReassigned reads err between assignments: no finding.
+func inspectedThenReassigned() error {
+	_, err := oracle()
+	if err != nil {
+		return err
+	}
+	_, err = oracle()
+	return err
+}
+
+// nilReset deliberately clears a handled error; resetting is not a drop.
+func nilReset() error {
+	_, err := oracle()
+	if err != nil {
+		err = nil
+	}
+	_, err = oracle()
+	return err
+}
+
+// annotatedDiscard carries a justification.
+func annotatedDiscard() float64 {
+	//physdes:errok probe call; the value is advisory and faults fall back to the estimate
+	v, _ := oracle()
+	return v
+}
+
+// annotatedBare suppresses a bare-call drop.
+func annotatedBare() {
+	flush() //physdes:errok shutdown path; the sink is already gone
+}
+
+// missingReason: suppression without a justification is its own finding.
+func missingReason() {
+	//physdes:errok
+	flush() // want "needs a justification"
+}
+
+// excusedPrinters: fmt printers and in-memory builders are idiomatic to
+// ignore; no finding.
+func excusedPrinters() string {
+	var b strings.Builder
+	fmt.Println("status")
+	b.WriteString("x")
+	_, _ = fmt.Println("status")
+	return b.String()
+}

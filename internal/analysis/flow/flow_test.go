@@ -1,0 +1,231 @@
+package flow_test
+
+import (
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"testing"
+
+	"physdes/internal/analysis"
+	"physdes/internal/analysis/flow"
+)
+
+// checkSrc type-checks one synthetic file and wraps it as a pass with
+// no shared state, so flow.Of builds a single-package index.
+func checkSrc(t *testing.T, src string) (*analysis.Pass, *flow.Index) {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "p.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	info := analysis.NewInfo()
+	conf := types.Config{Importer: importer.ForCompiler(fset, "source", nil)}
+	pkg, err := conf.Check("p", fset, []*ast.File{f}, info)
+	if err != nil {
+		t.Fatalf("typecheck: %v", err)
+	}
+	pass := &analysis.Pass{
+		Analyzer: &analysis.Analyzer{Name: "test"},
+		Fset:     fset,
+		Files:    []*ast.File{f},
+		Pkg:      pkg,
+		Info:     info,
+	}
+	return pass, flow.Of(pass)
+}
+
+func fn(t *testing.T, ix *flow.Index, name string) *flow.FuncInfo {
+	t.Helper()
+	for _, fi := range ix.Funcs() {
+		if fi.Obj.Name() == name {
+			return fi
+		}
+	}
+	t.Fatalf("function %s not in index", name)
+	return nil
+}
+
+func TestSignatureSummaries(t *testing.T) {
+	_, ix := checkSrc(t, `package p
+
+import "context"
+
+func plain(n int) int { return n }
+
+func withCtx(ctx context.Context, n int) (int, error) { return n, nil }
+
+func withCtxCtx(ctx context.Context) {}
+`)
+	if got := fn(t, ix, "plain"); len(got.CtxParams) != 0 || got.ReturnsError {
+		t.Errorf("plain: CtxParams=%d ReturnsError=%v", len(got.CtxParams), got.ReturnsError)
+	}
+	if got := fn(t, ix, "withCtx"); len(got.CtxParams) != 1 || !got.ReturnsError {
+		t.Errorf("withCtx: CtxParams=%d ReturnsError=%v", len(got.CtxParams), got.ReturnsError)
+	}
+}
+
+func TestCtxVariant(t *testing.T) {
+	_, ix := checkSrc(t, `package p
+
+import "context"
+
+type S struct{}
+
+func (s *S) Search(n int) int                          { return n }
+func (s *S) SearchCtx(ctx context.Context, n int) int  { return n }
+func (s *S) Lonely(n int) int                          { return n }
+func Top(n int) int                                    { return n }
+func TopCtx(ctx context.Context, n int) int            { return n }
+`)
+	search := fn(t, ix, "Search").Obj
+	if sib := ix.CtxVariant(search); sib == nil || sib.Name() != "SearchCtx" {
+		t.Errorf("CtxVariant(Search) = %v, want SearchCtx", sib)
+	}
+	if sib := ix.CtxVariant(fn(t, ix, "Lonely").Obj); sib != nil {
+		t.Errorf("CtxVariant(Lonely) = %v, want nil", sib)
+	}
+	if sib := ix.CtxVariant(fn(t, ix, "Top").Obj); sib == nil || sib.Name() != "TopCtx" {
+		t.Errorf("CtxVariant(Top) = %v, want TopCtx", sib)
+	}
+	// A function that already takes a context has no variant.
+	if sib := ix.CtxVariant(fn(t, ix, "TopCtx").Obj); sib != nil {
+		t.Errorf("CtxVariant(TopCtx) = %v, want nil", sib)
+	}
+}
+
+func TestTaintSummariesPropagate(t *testing.T) {
+	_, ix := checkSrc(t, `package p
+
+import "time"
+
+func source() int64 { return time.Now().UnixNano() }
+
+func mid() int64 { return source() / 2 }
+
+func top() int64 { return mid() + 1 }
+
+func clean() int64 { return 42 }
+
+func suppressed() int64 {
+	t := time.Now().UnixNano()
+	//physdes:nondetok logged only; never compared across runs
+	return t
+}
+`)
+	for name, want := range map[string]bool{
+		"source": true, "mid": true, "top": true,
+		"clean": false, "suppressed": false,
+	} {
+		if got := fn(t, ix, name).TaintedReturn; got != want {
+			t.Errorf("%s.TaintedReturn = %v, want %v", name, got, want)
+		}
+	}
+	if reason := fn(t, ix, "top").TaintReason; reason == "" {
+		t.Error("top.TaintReason is empty")
+	}
+}
+
+func TestAllocSummariesPropagate(t *testing.T) {
+	_, ix := checkSrc(t, `package p
+
+import "math"
+
+func leafAlloc(n int) []int { return make([]int, n) }
+
+func viaCall(n int) int { return len(leafAlloc(n)) }
+
+func pure(x float64) float64 { return math.Sqrt(x) }
+
+//physdes:zeroalloc
+func contract(x float64) float64 { return pure(x) + 1 }
+
+func trustsContract(x float64) float64 { return contract(x) }
+`)
+	for name, want := range map[string]bool{
+		"leafAlloc": true, "viaCall": true,
+		"pure": false, "contract": false, "trustsContract": false,
+	} {
+		if got := fn(t, ix, name).Allocates; got != want {
+			t.Errorf("%s.Allocates = %v (%s), want %v", name, got, fn(t, ix, name).AllocReason, want)
+		}
+	}
+	if !fn(t, ix, "contract").Zeroalloc {
+		t.Error("contract.Zeroalloc not detected from doc annotation")
+	}
+	if sites := ix.AllocSites(fn(t, ix, "leafAlloc")); len(sites) != 1 {
+		t.Errorf("leafAlloc alloc sites = %d, want 1", len(sites))
+	}
+}
+
+func TestStaticCallee(t *testing.T) {
+	pass, ix := checkSrc(t, `package p
+
+type T struct{}
+
+func (T) M() {}
+
+type I interface{ M() }
+
+func f() {}
+
+func calls(t T, i I, g func()) {
+	f()
+	t.M()
+	i.M()
+	g()
+}
+`)
+	calls := fn(t, ix, "calls").Calls
+	if len(calls) != 4 {
+		t.Fatalf("got %d calls, want 4", len(calls))
+	}
+	wantNames := []string{"f", "M", "", ""}
+	for i, c := range calls {
+		got := ""
+		if c.Callee != nil {
+			got = c.Callee.Name()
+		}
+		if got != wantNames[i] {
+			t.Errorf("call %d resolved to %q, want %q", i, got, wantNames[i])
+		}
+	}
+	_ = pass
+}
+
+func TestPropagateSeedObjs(t *testing.T) {
+	pass, ix := checkSrc(t, `package p
+
+import "context"
+
+func use(ctx context.Context) context.Context {
+	child := ctx
+	other := context.TODO()
+	_ = other
+	return child
+}
+`)
+	fi := fn(t, ix, "use")
+	seeds := map[types.Object]string{}
+	for _, p := range fi.CtxParams {
+		seeds[p] = "ctx parameter"
+	}
+	tt := ix.Propagate(fi, flow.TaintConfig{SeedObjs: seeds})
+	var childObj, otherObj types.Object
+	for id, obj := range pass.Info.Defs {
+		switch id.Name {
+		case "child":
+			childObj = obj
+		case "other":
+			otherObj = obj
+		}
+	}
+	if _, ok := tt.TaintedObj(childObj); !ok {
+		t.Error("child not marked as derived from ctx")
+	}
+	if _, ok := tt.TaintedObj(otherObj); ok {
+		t.Error("other wrongly marked as derived from ctx")
+	}
+}

@@ -1,0 +1,294 @@
+package flow
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"physdes/internal/analysis"
+)
+
+// OrderInsensitiveMarker mirrors nomaprange's suppression: a map range
+// annotated order-insensitive does not seed map-order taint.
+const OrderInsensitiveMarker = "orderinsensitive"
+
+// TaintConfig selects the seed set of a propagation run.
+type TaintConfig struct {
+	// WallClock seeds time.Now/Since/Until call results.
+	WallClock bool
+	// GlobalRand seeds results of global math/rand draws (the shared,
+	// racily-advanced source norandglobal forbids in libraries).
+	GlobalRand bool
+	// MapOrder seeds the iteration variables of unannotated map ranges.
+	MapOrder bool
+	// CalleeSummaries seeds results of calls to module functions whose
+	// TaintedReturn summary is set — the interprocedural edge.
+	CalleeSummaries bool
+	// SeedObjs pre-taints specific objects (ctxflow seeds the context
+	// parameters this way to compute "derived from the caller's ctx").
+	SeedObjs map[types.Object]string
+}
+
+// DetermConfig is the nondeterminism seed set used both by the
+// determtaint analyzer and by the TaintedReturn summary fixpoint.
+func DetermConfig() TaintConfig {
+	return TaintConfig{WallClock: true, GlobalRand: true, MapOrder: true, CalleeSummaries: true}
+}
+
+// Taint is the result of one forward propagation over a function body:
+// the set of tainted objects plus an expression-level predicate.
+type Taint struct {
+	ix   *Index
+	fi   *FuncInfo
+	cfg  TaintConfig
+	objs map[types.Object]string
+}
+
+// Propagate runs forward dataflow over fi's body to fixpoint: an object
+// becomes tainted when it is assigned an expression containing a seed
+// or another tainted object.
+func (ix *Index) Propagate(fi *FuncInfo, cfg TaintConfig) *Taint {
+	tt := &Taint{ix: ix, fi: fi, cfg: cfg, objs: map[types.Object]string{}}
+	for obj, reason := range cfg.SeedObjs {
+		tt.objs[obj] = reason
+	}
+	if fi.Decl.Body == nil {
+		return tt
+	}
+	// Monotone: each pass can only add objects, so the loop terminates.
+	for tt.pass() {
+	}
+	return tt
+}
+
+// Tainted reports whether the expression's value derives from a seed,
+// and names the source.
+func (tt *Taint) Tainted(e ast.Expr) (string, bool) {
+	return tt.exprTainted(e)
+}
+
+// TaintedObj reports whether the object is tainted.
+func (tt *Taint) TaintedObj(obj types.Object) (string, bool) {
+	r, ok := tt.objs[obj]
+	return r, ok
+}
+
+// pass runs one propagation sweep; it reports whether anything changed.
+func (tt *Taint) pass() bool {
+	changed := false
+	mark := func(id *ast.Ident, reason string) {
+		if id == nil || id.Name == "_" {
+			return
+		}
+		obj := tt.objOf(id)
+		if obj == nil {
+			return
+		}
+		if _, ok := tt.objs[obj]; !ok {
+			tt.objs[obj] = reason
+			changed = true
+		}
+	}
+	ast.Inspect(tt.fi.Decl.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			if len(n.Lhs) == len(n.Rhs) {
+				for i, rhs := range n.Rhs {
+					if reason, ok := tt.exprTainted(rhs); ok {
+						if id, ok := n.Lhs[i].(*ast.Ident); ok {
+							mark(id, reason)
+						}
+					}
+				}
+				return true
+			}
+			// Tuple assignment: one tainted source taints every target.
+			for _, rhs := range n.Rhs {
+				if reason, ok := tt.exprTainted(rhs); ok {
+					for _, lhs := range n.Lhs {
+						if id, ok := lhs.(*ast.Ident); ok {
+							mark(id, reason)
+						}
+					}
+					break
+				}
+			}
+		case *ast.GenDecl:
+			for _, spec := range n.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok {
+					continue
+				}
+				for _, v := range vs.Values {
+					if reason, ok := tt.exprTainted(v); ok {
+						for _, id := range vs.Names {
+							mark(id, reason)
+						}
+						break
+					}
+				}
+			}
+		case *ast.RangeStmt:
+			keyID, _ := n.Key.(*ast.Ident)
+			valID, _ := n.Value.(*ast.Ident)
+			if tt.cfg.MapOrder && tt.isUnannotatedMapRange(n) {
+				mark(keyID, "map iteration order")
+				mark(valID, "map iteration order")
+			}
+			if reason, ok := tt.exprTainted(n.X); ok {
+				mark(keyID, reason)
+				mark(valID, reason)
+			}
+		}
+		return true
+	})
+	return changed
+}
+
+// isUnannotatedMapRange reports a range over a map value without an
+// //physdes:orderinsensitive suppression.
+func (tt *Taint) isUnannotatedMapRange(rs *ast.RangeStmt) bool {
+	tv, ok := tt.fi.Pkg.Info.Types[rs.X]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
+		return false
+	}
+	_, annotated := analysis.Annotated(tt.ix.Annotations(tt.fi.File, OrderInsensitiveMarker), tt.ix.Fset, rs.Pos())
+	return !annotated
+}
+
+// exprTainted reports whether e contains a seed call or a use of a
+// tainted object. Function literals are separate frames and are not
+// descended into.
+func (tt *Taint) exprTainted(e ast.Expr) (string, bool) {
+	var reason string
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.Ident:
+			if obj := tt.objOf(n); obj != nil {
+				if r, ok := tt.objs[obj]; ok {
+					reason, found = r, true
+					return false
+				}
+			}
+		case *ast.CallExpr:
+			if r, ok := tt.callSeed(n); ok {
+				reason, found = r, true
+				return false
+			}
+		}
+		return true
+	})
+	return reason, found
+}
+
+// randGlobals are the math/rand package-level draws backed by the
+// shared source; constructors taking an explicit source or seed are
+// deterministic under injection and do not seed taint.
+var randConstructors = map[string]bool{
+	"New": true, "NewSource": true, "NewPCG": true, "NewChaCha8": true, "NewZipf": true,
+}
+
+// callSeed reports whether the call itself is a taint source under the
+// run's config.
+func (tt *Taint) callSeed(call *ast.CallExpr) (string, bool) {
+	info := tt.fi.Pkg.Info
+	if tt.cfg.WallClock {
+		for _, name := range []string{"Now", "Since", "Until"} {
+			if analysis.IsPkgCall(info, call, "time", name) {
+				return "wall clock (time." + name + ")", true
+			}
+		}
+	}
+	if tt.cfg.GlobalRand {
+		if sel, ok := call.Fun.(*ast.SelectorExpr); ok {
+			if pn := analysis.PkgQualifier(info, sel); pn != nil {
+				path := pn.Imported().Path()
+				if (path == "math/rand" || path == "math/rand/v2") && !randConstructors[sel.Sel.Name] {
+					if _, isFunc := info.Uses[sel.Sel].(*types.Func); isFunc {
+						return "global RNG (" + path + "." + sel.Sel.Name + ")", true
+					}
+				}
+			}
+		}
+	}
+	if tt.cfg.CalleeSummaries {
+		if fi := tt.ix.Lookup(StaticCallee(info, call)); fi != nil && fi.TaintedReturn {
+			return fi.Obj.Name() + " (returns " + fi.TaintReason + ")", true
+		}
+	}
+	return "", false
+}
+
+// objOf resolves an identifier to its object (use or def).
+func (tt *Taint) objOf(id *ast.Ident) types.Object {
+	info := tt.fi.Pkg.Info
+	if obj := info.Uses[id]; obj != nil {
+		return obj
+	}
+	return info.Defs[id]
+}
+
+// NondetOKMarker suppresses a determtaint finding with justification.
+const NondetOKMarker = "nondetok"
+
+// computeTaintSummaries runs the TaintedReturn fixpoint over the whole
+// module: a function's returns are tainted when a return expression is
+// tainted under DetermConfig (which itself consults callee summaries,
+// so taint flows up call chains until nothing changes). Returns covered
+// by a //physdes:nondetok suppression do not poison the summary — the
+// justification is trusted to hold for callers too.
+func (ix *Index) computeTaintSummaries() {
+	for {
+		changed := false
+		for _, fi := range ix.all {
+			if fi.TaintedReturn || fi.Decl.Body == nil {
+				continue
+			}
+			tt := ix.Propagate(fi, DetermConfig())
+			reason, pos, found := tt.taintedReturn()
+			if !found {
+				continue
+			}
+			if _, suppressed := ix.SiteAnnotation(fi, NondetOKMarker, pos); suppressed {
+				continue
+			}
+			fi.TaintedReturn = true
+			fi.TaintReason = reason
+			changed = true
+		}
+		if !changed {
+			return
+		}
+	}
+}
+
+// taintedReturn finds the first tainted return expression.
+func (tt *Taint) taintedReturn() (reason string, pos token.Pos, found bool) {
+	ast.Inspect(tt.fi.Decl.Body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.ReturnStmt:
+			for _, res := range n.Results {
+				if r, ok := tt.exprTainted(res); ok {
+					reason, pos, found = r, n.Pos(), true
+					return false
+				}
+			}
+		}
+		return true
+	})
+	return reason, pos, found
+}

@@ -25,6 +25,7 @@ import (
 	"go/types"
 
 	"physdes/internal/analysis"
+	"physdes/internal/analysis/flow"
 )
 
 // Marker is the suppression annotation suffix: //physdes:manualunlock.
@@ -37,8 +38,11 @@ var Analyzer = &analysis.Analyzer{
 }
 
 func run(pass *analysis.Pass) error {
+	// Annotation maps come through the shared flow index so the scan is
+	// memoized once per file across the whole suite.
+	ix := flow.Of(pass)
 	for _, file := range pass.Files {
-		ann := analysis.Annotations(pass.Fset, file, Marker)
+		ann := ix.Annotations(file, Marker)
 		ast.Inspect(file, func(n ast.Node) bool {
 			switch n := n.(type) {
 			case *ast.BlockStmt:

@@ -20,6 +20,7 @@ import (
 	"go/types"
 
 	"physdes/internal/analysis"
+	"physdes/internal/analysis/flow"
 )
 
 // Marker is the suppression annotation suffix: //physdes:orderinsensitive.
@@ -51,8 +52,11 @@ var Analyzer = &analysis.Analyzer{
 }
 
 func run(pass *analysis.Pass) error {
+	// The flow index memoizes per-file annotation maps across analyzers
+	// (determtaint consults the same marker), so scan through it.
+	ix := flow.Of(pass)
 	for _, file := range pass.Files {
-		ann := analysis.Annotations(pass.Fset, file, Marker)
+		ann := ix.Annotations(file, Marker)
 		ast.Inspect(file, func(n ast.Node) bool {
 			rs, ok := n.(*ast.RangeStmt)
 			if !ok {

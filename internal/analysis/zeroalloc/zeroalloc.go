@@ -1,0 +1,79 @@
+// Package zeroalloc machine-checks the PR-4 zero-allocation contract.
+//
+// The split-search and scratch paths were rewritten to perform zero
+// steady-state heap allocations, pinned at runtime by AllocsPerRun
+// gates and a CI benchmark check. Those gates only cover the inputs the
+// benchmarks happen to exercise; this analyzer makes the property
+// structural. A function declared
+//
+//	//physdes:zeroalloc
+//
+// must not contain escaping composite literals, growing appends,
+// escaping closures, allocating conversions or string concatenation,
+// and every statically-resolved callee must itself be annotated,
+// summarize as allocation-free in the flow call graph, or sit on the
+// stdlib no-alloc allowlist (math, in-place slices sorts). Cold-path
+// sites inside the contract (first-use buffer growth) are suppressed
+// one by one with a justification:
+//
+//	//physdes:allocok grows scratch capacity on first use; steady state reuses
+//
+// The check runs over test files too — a benchmark helper that
+// allocates inside a zeroalloc chain would silently invalidate the
+// AllocsPerRun gate it supports.
+package zeroalloc
+
+import (
+	"physdes/internal/analysis"
+	"physdes/internal/analysis/flow"
+)
+
+// Marker is the contract annotation suffix: //physdes:zeroalloc.
+const Marker = flow.ZeroallocMarker
+
+// SiteMarker is the per-site suppression suffix: //physdes:allocok.
+const SiteMarker = flow.AllocOKMarker
+
+var Analyzer = &analysis.Analyzer{
+	Name:         "zeroalloc",
+	Doc:          "verify //physdes:zeroalloc functions allocate nothing and call only allocation-free callees",
+	IncludeTests: true,
+	Run:          run,
+}
+
+func run(pass *analysis.Pass) error {
+	ix := flow.Of(pass)
+	for _, fi := range ix.PassFuncs(pass) {
+		if !fi.Zeroalloc {
+			continue
+		}
+		for _, site := range ix.AllocSites(fi) {
+			if site.Suppressed {
+				if site.Justification == "" {
+					pass.Reportf(site.Pos,
+						"//physdes:%s needs a justification explaining why this allocation is outside the steady state", SiteMarker)
+				}
+				continue
+			}
+			pass.Reportf(site.Pos,
+				"%s is declared //physdes:%s but %s; hoist it into reusable scratch (or annotate //physdes:%s <why>)",
+				fi.Obj.Name(), Marker, site.What, SiteMarker)
+		}
+		for _, call := range fi.Calls {
+			why := ix.CallAllocates(fi, call)
+			if why == "" {
+				continue
+			}
+			if reason, ok := ix.SiteAnnotation(fi, SiteMarker, call.Expr.Pos()); ok {
+				if reason == "" {
+					pass.Reportf(call.Expr.Pos(),
+						"//physdes:%s needs a justification explaining why this call may allocate", SiteMarker)
+				}
+				continue
+			}
+			pass.Reportf(call.Expr.Pos(),
+				"%s is declared //physdes:%s but %s", fi.Obj.Name(), Marker, why)
+		}
+	}
+	return nil
+}

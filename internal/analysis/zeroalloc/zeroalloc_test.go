@@ -1,0 +1,12 @@
+package zeroalloc_test
+
+import (
+	"testing"
+
+	"physdes/internal/analysis/analysistest"
+	"physdes/internal/analysis/zeroalloc"
+)
+
+func TestZeroAlloc(t *testing.T) {
+	analysistest.Run(t, zeroalloc.Analyzer, "testdata/src/a")
+}

@@ -238,6 +238,7 @@ func DefaultOptions(seed uint64) Options {
 // for the Pr(CS) trace, Tracer for structured events, Metrics for the
 // counter registry — all three compose.
 func Select(opt *optimizer.Optimizer, w *workload.Workload, configs []*physical.Configuration, o Options) (*Selection, error) {
+	//physdes:detachedctx compatibility wrapper for pre-cancellation callers; SelectCtx is the cancellable path
 	return SelectCtx(context.Background(), opt, w, configs, o)
 }
 

@@ -1,17 +1,24 @@
 package experiments
 
 import (
+	"bufio"
 	"fmt"
 	"io"
 	"text/tabwriter"
 	"time"
 )
 
+// The Print* renderers buffer through bufio and tabwriter, both of
+// which latch the first write error; the two Flush calls at the end of
+// each renderer surface it, so a full disk or closed pipe is reported
+// instead of silently truncating a results table.
+
 // PrintSeries renders Monte-Carlo Pr(CS) curves as the paper's figures do:
 // one row per call budget, one column per scheme.
-func PrintSeries(out io.Writer, title string, series []MCSeries) {
-	fmt.Fprintf(out, "%s\n", title)
-	tw := tabwriter.NewWriter(out, 4, 4, 2, ' ', 0)
+func PrintSeries(out io.Writer, title string, series []MCSeries) error {
+	bw := bufio.NewWriter(out)
+	fmt.Fprintf(bw, "%s\n", title)
+	tw := tabwriter.NewWriter(bw, 4, 4, 2, ' ', 0)
 	fmt.Fprintf(tw, "calls")
 	for _, s := range series {
 		fmt.Fprintf(tw, "\t%s", s.Variant.Name)
@@ -26,13 +33,17 @@ func PrintSeries(out io.Writer, title string, series []MCSeries) {
 			fmt.Fprintln(tw)
 		}
 	}
-	tw.Flush()
+	if err := tw.Flush(); err != nil {
+		return err
+	}
+	return bw.Flush()
 }
 
 // PrintMultiRows renders Table 2/3 in the paper's layout.
-func PrintMultiRows(out io.Writer, title string, rows []MultiRow, ks []int) {
-	fmt.Fprintf(out, "%s\n", title)
-	tw := tabwriter.NewWriter(out, 4, 4, 2, ' ', 0)
+func PrintMultiRows(out io.Writer, title string, rows []MultiRow, ks []int) error {
+	bw := bufio.NewWriter(out)
+	fmt.Fprintf(bw, "%s\n", title)
+	tw := tabwriter.NewWriter(bw, 4, 4, 2, ' ', 0)
 	fmt.Fprintf(tw, "Method\t")
 	for _, k := range ks {
 		fmt.Fprintf(tw, "\tk=%d", k)
@@ -68,7 +79,10 @@ func PrintMultiRows(out io.Writer, title string, rows []MultiRow, ks []int) {
 		}
 		fmt.Fprintln(tw)
 	}
-	tw.Flush()
+	if err := tw.Flush(); err != nil {
+		return err
+	}
+	return bw.Flush()
 }
 
 func findRow(rows []MultiRow, m MultiMethod, k int) (MultiRow, bool) {
@@ -81,15 +95,19 @@ func findRow(rows []MultiRow, m MultiMethod, k int) (MultiRow, bool) {
 }
 
 // PrintSigmaRows renders Table 1.
-func PrintSigmaRows(out io.Writer, rows []SigmaRow) {
-	fmt.Fprintln(out, "Table 1: Overhead of approximating σ²_max")
-	tw := tabwriter.NewWriter(out, 4, 4, 2, ' ', 0)
+func PrintSigmaRows(out io.Writer, rows []SigmaRow) error {
+	bw := bufio.NewWriter(out)
+	fmt.Fprintln(bw, "Table 1: Overhead of approximating σ²_max")
+	tw := tabwriter.NewWriter(bw, 4, 4, 2, ' ', 0)
 	fmt.Fprintf(tw, "N\tρ\ttime\tσ̂²_max\tθ\tDP cells\n")
 	for _, r := range rows {
 		fmt.Fprintf(tw, "%d\t%g\t%v\t%.4g\t%.4g\t%d\n",
 			r.N, r.Rho, r.Elapsed.Round(roundUnit(r.Elapsed)), r.Sigma2, r.Theta, r.Cells)
 	}
-	tw.Flush()
+	if err := tw.Flush(); err != nil {
+		return err
+	}
+	return bw.Flush()
 }
 
 // roundUnit picks a display rounding: 10ms above a second, 100µs above a
@@ -106,24 +124,32 @@ func roundUnit(d time.Duration) time.Duration {
 }
 
 // PrintCompressionRows renders the Section 7.3 comparison.
-func PrintCompressionRows(out io.Writer, rows []CompressionRow) {
-	fmt.Fprintln(out, "Section 7.3: comparison to workload compression")
-	tw := tabwriter.NewWriter(out, 4, 4, 2, ' ', 0)
+func PrintCompressionRows(out io.Writer, rows []CompressionRow) error {
+	bw := bufio.NewWriter(out)
+	fmt.Fprintln(bw, "Section 7.3: comparison to workload compression")
+	tw := tabwriter.NewWriter(bw, 4, 4, 2, ' ', 0)
 	fmt.Fprintf(tw, "Method\tkept\ttemplates\timprovement\tdistance comps\n")
 	for _, r := range rows {
 		fmt.Fprintf(tw, "%s\t%d\t%d\t%.1f%%\t%d\n",
 			r.Method, r.KeptQueries, r.TemplateCoverage, 100*r.Improvement, r.DistanceComputations)
 	}
-	tw.Flush()
+	if err := tw.Flush(); err != nil {
+		return err
+	}
+	return bw.Flush()
 }
 
 // PrintCLTRows renders the Section 6 sample-size requirements.
-func PrintCLTRows(out io.Writer, rows []CLTRow) {
-	fmt.Fprintln(out, "Section 6: CLT sample-size requirements (Equation 9)")
-	tw := tabwriter.NewWriter(out, 4, 4, 2, ' ', 0)
+func PrintCLTRows(out io.Writer, rows []CLTRow) error {
+	bw := bufio.NewWriter(out)
+	fmt.Fprintln(bw, "Section 6: CLT sample-size requirements (Equation 9)")
+	tw := tabwriter.NewWriter(bw, 4, 4, 2, ' ', 0)
 	fmt.Fprintf(tw, "N\tG1_max\tmin samples\tfraction\n")
 	for _, r := range rows {
 		fmt.Fprintf(tw, "%d\t%.2f\t%d\t%.2f%%\n", r.N, r.G1Max, r.MinSamples, 100*r.Fraction)
 	}
-	tw.Flush()
+	if err := tw.Flush(); err != nil {
+		return err
+	}
+	return bw.Flush()
 }

@@ -97,7 +97,7 @@ func (s *Server) Start(addr string) (string, error) {
 	s.srv = &http.Server{Handler: s.mux}
 	go func() {
 		if err := s.srv.Serve(ln); err != nil && !errors.Is(err, http.ErrServerClosed) {
-			_ = err // the process is exiting; nothing useful to do
+			_ = err //physdes:errok the process is exiting; nothing useful to report to
 		}
 	}()
 	return ln.Addr().String(), nil
@@ -120,17 +120,17 @@ func (s *Server) run(id string) *recorder.Recorder {
 
 func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-	fmt.Fprintln(w, "ok")
+	fmt.Fprintln(w, "ok") //physdes:errok a failed response write means the client left; the handler has no one to tell
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
-	_ = s.reg.WriteProm(w)
+	_ = s.reg.WriteProm(w) //physdes:errok a failed response write means the client left; the handler has no one to tell
 }
 
 func (s *Server) handleMetricsJSON(w http.ResponseWriter, _ *http.Request) {
 	w.Header().Set("Content-Type", "application/json")
-	_ = s.reg.WriteJSON(w)
+	_ = s.reg.WriteJSON(w) //physdes:errok a failed response write means the client left; the handler has no one to tell
 }
 
 // runInfo is one entry of the /runs listing.
@@ -200,6 +200,7 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 			if err != nil {
 				return
 			}
+			//physdes:errok SSE client disconnected mid-stream; the loop exits via ctx on the next idle wait
 			fmt.Fprintf(w, "event: round\nid: %d\ndata: %s\n\n", idx, data)
 			idx++
 		}
@@ -218,6 +219,7 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 			if err != nil {
 				return
 			}
+			//physdes:errok SSE client disconnected mid-stream; the handler returns on the next line anyway
 			fmt.Fprintf(w, "event: done\ndata: %s\n\n", summary)
 			fl.Flush()
 			return
@@ -236,5 +238,5 @@ func writeJSON(w http.ResponseWriter, v any) {
 	w.Header().Set("Content-Type", "application/json")
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
-	_ = enc.Encode(v)
+	_ = enc.Encode(v) //physdes:errok a failed response write means the client left; the handler has no one to tell
 }

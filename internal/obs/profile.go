@@ -16,7 +16,7 @@ func StartCPUProfile(path string) (stop func() error, err error) {
 		return nil, fmt.Errorf("obs: cpu profile: %w", err)
 	}
 	if err := pprof.StartCPUProfile(f); err != nil {
-		f.Close()
+		f.Close() //physdes:errok best-effort cleanup; the pprof error on the next line is the one reported
 		return nil, fmt.Errorf("obs: cpu profile: %w", err)
 	}
 	return func() error {
@@ -33,7 +33,7 @@ func WriteHeapProfile(path string) error {
 	}
 	runtime.GC()
 	if err := pprof.WriteHeapProfile(f); err != nil {
-		f.Close()
+		f.Close() //physdes:errok best-effort cleanup; the pprof error on the next line is the one reported
 		return fmt.Errorf("obs: heap profile: %w", err)
 	}
 	return f.Close()

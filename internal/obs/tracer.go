@@ -212,6 +212,7 @@ func (s *JSONLSink) Event(e Event) {
 	if err != nil {
 		// A non-encodable attribute must not kill a tuning run; emit the
 		// event name with the error instead.
+		//physdes:errok the fallback record holds only strings; Marshal cannot fail on it
 		data, _ = json.Marshal(map[string]any{"ev": e.Name, "error": err.Error()})
 	}
 	s.w.Write(data)

@@ -46,7 +46,8 @@ func (o *Optimizer) BatchCtx(ctx context.Context, reqs []Request, parallelism in
 // bit-identical at every parallelism level. Workers only write into their
 // positional slot — order-sensitive reductions belong to the caller.
 func (o *Optimizer) BatchInto(reqs []Request, out []float64, parallelism int) {
-	o.BatchIntoCtx(context.Background(), reqs, out, parallelism)
+	//physdes:detachedctx compatibility wrapper for pre-cancellation callers; BatchIntoCtx is the cancellable path
+	o.BatchIntoCtx(context.Background(), reqs, out, parallelism) //physdes:errok Background never cancels and ctx.Err is the only error source, so the result is always nil
 }
 
 // BatchIntoCtx is BatchInto with cancellation: once ctx is done no further
@@ -112,7 +113,8 @@ func (c *Cached) Batch(reqs []Request, parallelism int) []float64 {
 
 // BatchInto is Batch writing into a caller-provided slice.
 func (c *Cached) BatchInto(reqs []Request, out []float64, parallelism int) {
-	c.BatchIntoCtx(context.Background(), reqs, out, parallelism)
+	//physdes:detachedctx compatibility wrapper for pre-cancellation callers; BatchIntoCtx is the cancellable path
+	c.BatchIntoCtx(context.Background(), reqs, out, parallelism) //physdes:errok Background never cancels and ctx.Err is the only error source, so the result is always nil
 }
 
 // BatchIntoCtx is BatchInto with cancellation; see the uncached

@@ -24,7 +24,8 @@ func Default() int { return runtime.GOMAXPROCS(0) }
 // f has returned. A panic in any f is re-raised on the calling goroutine
 // after the pool drains, exactly as if the loop had run inline.
 func For(n, workers int, f func(i int)) {
-	ForCtx(context.Background(), n, workers, f)
+	//physdes:detachedctx compatibility wrapper for pre-cancellation callers; ForCtx is the cancellable path
+	ForCtx(context.Background(), n, workers, f) //physdes:errok Background never cancels and ctx.Err is the only error source, so the result is always nil
 }
 
 // ForCtx is For with cancellation: once ctx is done, no further index is

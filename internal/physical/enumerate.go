@@ -179,6 +179,7 @@ func EnumerateCandidates(cat *catalog.Catalog, analyses []*sqlparse.Analysis, op
 	}
 
 	out := make([]Structure, 0, len(seen))
+	//physdes:orderinsensitive collected in map order but sorted by ID before return
 	for _, s := range seen {
 		out = append(out, s)
 	}

@@ -116,5 +116,6 @@ func SplitSearchBench(counts []int, seed uint64) []SplitBenchRow {
 			Agree:       agree,
 		})
 	}
+	//physdes:nondetok rows carry measured wall times and allocation counts; the benchmark report is not a tuning result
 	return rows
 }

@@ -82,6 +82,8 @@ type tmplStat struct {
 // into an FMA head and residual tail so its low-order bits — the part
 // that must survive the later subtraction of (Σw·m)²/W — enter the
 // compensated sum instead of being rounded away up front.
+//
+//physdes:zeroalloc
 func addWeightedSquare(k *stats.Kahan, w, m, v float64) {
 	mHi := m * m
 	mLo := math.FMA(m, m, -mHi)
@@ -100,6 +102,8 @@ func addWeightedSquare(k *stats.Kahan, w, m, v float64) {
 // because every term is a plain sum over templates, the moments of any
 // mean-ordered prefix (and, by subtraction, suffix) come from prefix
 // sums, making each split point O(1) instead of O(T).
+//
+//physdes:zeroalloc
 func unionS2FromMoments(W float64, wm, wsq stats.Kahan) float64 {
 	if W <= 1 {
 		return 0
@@ -159,9 +163,11 @@ type splitScratch struct {
 
 // grow returns s resized to n entries, reallocating only when the
 // capacity is insufficient. Contents are unspecified.
+//
+//physdes:zeroalloc
 func grow[T any](s []T, n int) []T {
 	if cap(s) < n {
-		return make([]T, n)
+		return make([]T, n) //physdes:allocok grows scratch capacity on first use; the steady state takes the cap branch
 	}
 	return s[:n]
 }
@@ -169,6 +175,8 @@ func grow[T any](s []T, n int) []T {
 // cmpTmplStat orders templates by mean cost, breaking ties by template
 // id — a total order (ids are unique within a stratum), so any
 // correct sort yields the same permutation as the naive reference.
+//
+//physdes:zeroalloc
 func cmpTmplStat(a, b tmplStat) int {
 	switch {
 	case a.m < b.m:
@@ -204,6 +212,8 @@ func cmpTmplStat(a, b tmplStat) int {
 // curStrata mirrors the live strata (sizes and current S² estimates);
 // tmplStats[h] lists the per-template statistics of stratum h, or nil when
 // the stratum lacks estimates for some member template.
+//
+//physdes:zeroalloc
 func findBestSplit(sc *splitScratch, curStrata []stats.Stratum, tmplStats [][]tmplStat, targetVar float64, nmin int) (splitDecision, int, bool) {
 	L := len(curStrata)
 	minSam := stats.MinSamplesForVarianceScratch(curStrata, targetVar, nmin, &sc.sc, 0)

@@ -21,6 +21,8 @@ type Stratum struct {
 // for the allocation alloc (alloc[h] = n_h). Strata with n_h ≤ 0 contribute
 // +Inf unless their size is also 0. An allocation covering a whole stratum
 // contributes 0 for it (the FPC vanishes).
+//
+//physdes:zeroalloc
 func StratifiedVariance(strata []Stratum, alloc []int) float64 {
 	if len(strata) != len(alloc) {
 		panic("stats: allocation length mismatch")
@@ -60,6 +62,8 @@ func NeymanAllocation(strata []Stratum, n, perStratumMin int) []int {
 // allocated, so pre-sized buffers make the call allocation-free (the
 // property the split-search binary probes rely on). The (possibly
 // grown) allocation slice is returned.
+//
+//physdes:zeroalloc
 func NeymanAllocationInto(dst, capLeft []int, strata []Stratum, n, perStratumMin int) []int {
 	L := len(strata)
 	dst = growInts(dst, L)
@@ -135,6 +139,8 @@ func NeymanAllocationInto(dst, capLeft []int, strata []Stratum, n, perStratumMin
 // It scans rather than sorts so the probe path stays allocation-free;
 // the remainder at a rounding stall is always smaller than the number
 // of positive-weight strata, so the scans are cheap.
+//
+//physdes:zeroalloc
 func handOutByWeight(strata []Stratum, alloc, capLeft []int, remaining *int) {
 	for *remaining > 0 {
 		prevW := math.Inf(1)
@@ -174,9 +180,11 @@ func handOutByWeight(strata []Stratum, alloc, capLeft []int, remaining *int) {
 
 // growInts returns s resized to n entries, reallocating only when the
 // capacity is insufficient. Contents are unspecified.
+//
+//physdes:zeroalloc
 func growInts(s []int, n int) []int {
 	if cap(s) < n {
-		return make([]int, n)
+		return make([]int, n) //physdes:allocok grows scratch capacity on first use; the steady state takes the cap branch
 	}
 	return s[:n]
 }
@@ -212,6 +220,8 @@ type AllocScratch struct {
 // incrementally (the split-search sweep) pass it to skip the O(L)
 // recomputation; loHint ≤ 0 derives the floor internally. The probe
 // sequence is bit-identical to MinSamplesForVariance in every case.
+//
+//physdes:zeroalloc
 func MinSamplesForVarianceScratch(strata []Stratum, targetVar float64, perStratumMin int, sc *AllocScratch, loHint int) int {
 	total := 0
 	for _, st := range strata {

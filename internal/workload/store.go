@@ -31,12 +31,12 @@ func Save(w *Workload, path string) error {
 	for _, q := range w.Queries {
 		rec := storeRecord{ID: q.ID, Template: uint64(q.Template), SQL: q.SQL}
 		if err := enc.Encode(&rec); err != nil {
-			f.Close()
+			f.Close() //physdes:errok best-effort cleanup; the encode error on the next line is the one reported
 			return fmt.Errorf("workload: save: %w", err)
 		}
 	}
 	if err := bw.Flush(); err != nil {
-		f.Close()
+		f.Close() //physdes:errok best-effort cleanup; the flush error on the next line is the one reported
 		return fmt.Errorf("workload: save: %w", err)
 	}
 	return f.Close()
