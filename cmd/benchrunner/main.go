@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	benchrunner [-exp all|table1|fig1|fig2|fig3|fig4|table2|table3|sec73|clt|elim|stability|rho|parallel|strat|atoms]
+//	benchrunner [-exp all|table1|fig1|fig2|fig3|fig4|table2|table3|sec73|clt|elim|stability|rho|parallel|strat|atoms|drift]
 //	            [-quick|-paper] [-seed N] [-repeats N]
 //	            [-profile cpu.pprof] [-heap-profile heap.pprof] [-metrics]
 //	            [-parallelism N] [-json BENCH_parallel.json] [-listen 127.0.0.1:6060]
@@ -39,7 +39,7 @@ import (
 
 func main() {
 	var (
-		exp         = flag.String("exp", "all", "experiment id (all, table1, fig1, fig2, fig3, fig4, table2, table3, sec73, clt, elim, stability, rho, parallel, strat, atoms)")
+		exp         = flag.String("exp", "all", "experiment id (all, table1, fig1, fig2, fig3, fig4, table2, table3, sec73, clt, elim, stability, rho, parallel, strat, atoms, drift)")
 		paper       = flag.Bool("paper", false, "paper-scale sizes (13K/6K queries, 5000 repeats)")
 		seed        = flag.Uint64("seed", 1, "random seed")
 		repeats     = flag.Int("repeats", 0, "override Monte-Carlo repeats")
@@ -373,6 +373,22 @@ func run(exp string, p experiments.Params, csvDir string, reg *obs.Registry, par
 		}
 		fmt.Fprintln(out)
 	}
+	if all || exp == "drift" {
+		rows, err := experiments.Warmstart(p)
+		if err != nil {
+			return err
+		}
+		if err := experiments.PrintWarmstart(out, rows); err != nil {
+			return err
+		}
+		if jsonOut != "" && exp == "drift" {
+			if err := experiments.WriteWarmstartJSON(jsonOut, rows); err != nil {
+				return err
+			}
+			fmt.Fprintf(out, "  wrote warm-start rows to %s\n", jsonOut)
+		}
+		fmt.Fprintln(out)
+	}
 	if all || exp == "rho" {
 		rows, err := experiments.RhoSweep(p)
 		if err != nil {
@@ -387,7 +403,7 @@ func run(exp string, p experiments.Params, csvDir string, reg *obs.Registry, par
 	}
 	if !all {
 		switch exp {
-		case "table1", "fig1", "fig2", "fig3", "fig4", "table2", "table3", "sec73", "clt", "elim", "stability", "rho", "batching", "scaling", "parallel", "strat", "atoms":
+		case "table1", "fig1", "fig2", "fig3", "fig4", "table2", "table3", "sec73", "clt", "elim", "stability", "rho", "batching", "scaling", "parallel", "strat", "atoms", "drift":
 		default:
 			return fmt.Errorf("unknown experiment %q", exp)
 		}

@@ -1,11 +1,13 @@
 package main
 
 import (
+	"bytes"
 	"encoding/json"
 	"flag"
 	"io"
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 
 	"physdes"
@@ -164,4 +166,57 @@ func TestExplainGolden(t *testing.T) {
 		}
 	})
 	checkGolden(t, golden, out)
+}
+
+// The select subcommand's -warm-state flow is part of the scripted
+// interface: a cold run captures a snapshot, a rerun loads it, reports
+// the reuse and beats the cold oracle bill, and the snapshot encoding is
+// canonical — re-saving a reloaded state is byte-identical.
+func TestSelectWarmStateGolden(t *testing.T) {
+	golden := filepath.Join(goldenDir(t), "select_warm.golden")
+	t.Chdir(t.TempDir())
+
+	args := []string{
+		"-db", "tpcd", "-n", "600", "-k", "4", "-seed", "1",
+		"-parallelism", "1", "-warm-state", "state.json",
+	}
+	coldOut := captureStdout(t, func() {
+		if err := cmdSelect(args, false); err != nil {
+			t.Error(err)
+		}
+	})
+	if !strings.Contains(coldOut, "wrote warm state to state.json") {
+		t.Fatalf("cold run did not save a snapshot:\n%s", coldOut)
+	}
+	saved, err := os.ReadFile("state.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Canonical encoding: load → re-marshal must be byte-identical.
+	st, err := physdes.LoadWarmState("state.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := physdes.SaveWarmState(st, "resaved.json"); err != nil {
+		t.Fatal(err)
+	}
+	resaved, err := os.ReadFile("resaved.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(saved, resaved) {
+		t.Error("re-saving a reloaded warm state changed its bytes: encoding is not canonical")
+	}
+
+	warmOut := captureStdout(t, func() {
+		if err := cmdSelect(args, false); err != nil {
+			t.Error(err)
+		}
+	})
+	if !strings.Contains(warmOut, "warm state: loaded state.json") ||
+		!strings.Contains(warmOut, "warm start: ") {
+		t.Fatalf("rerun did not engage the warm path:\n%s", warmOut)
+	}
+	checkGolden(t, golden, coldOut+"---\n"+warmOut)
 }

@@ -80,7 +80,8 @@ func usage() {
   physdes select  -db tpcd|crm -n N -k K [-alpha A] [-delta D]
                   [-scheme delta|independent] [-strat none|progressive|fine]
                   [-conservative] [-trace FILE] [-metrics] [-parallelism P]
-                  [-timeout DUR] [-max-retries R] [-listen ADDR] [-report] [-seed S]
+                  [-timeout DUR] [-max-retries R] [-listen ADDR] [-report]
+                [-warm-state FILE] [-seed S]
   physdes explore -db tpcd|crm -n N -k K [-trace FILE] [-metrics] [-parallelism P] [-seed S]
   physdes explain -db tpcd|crm -q "SELECT ..." [-config rec.json]
   physdes tune    -db tpcd|crm -n N [-mode sampled|exhaustive] [-max M]
@@ -409,6 +410,7 @@ func cmdSelect(args []string, explore bool) error {
 	maxRetries := fs.Int("max-retries", 0, "re-attempt failed what-if probes this many times (fallible oracles only)")
 	listen := fs.String("listen", "", "serve live introspection HTTP on this address (/healthz, /metrics, /runs, SSE) and keep serving after the run until interrupted")
 	report := fs.Bool("report", false, "print the flight recorder's convergence report after the run")
+	warmStateFile := fs.String("warm-state", "", "snapshot file: seed the selection from it when it exists, and (re)write this run's snapshot to it on success")
 	seed := fs.Uint64("seed", 1, "random seed")
 	fs.Parse(args)
 
@@ -511,6 +513,18 @@ func cmdSelect(args []string, explore bool) error {
 	}
 	o.Tracer = physdes.NewTracerSinks(sinks...)
 
+	if *warmStateFile != "" {
+		o.CaptureState = true
+		if _, statErr := os.Stat(*warmStateFile); statErr == nil {
+			st, err := physdes.LoadWarmState(*warmStateFile)
+			if err != nil {
+				return fmt.Errorf("warm state %s: %w", *warmStateFile, err)
+			}
+			o.WarmState = st
+			fmt.Printf("warm state: loaded %s\n", *warmStateFile)
+		}
+	}
+
 	o.MaxRetries = *maxRetries
 	ctx := sigCtx
 	if *timeout > 0 {
@@ -561,6 +575,16 @@ func cmdSelect(args []string, explore bool) error {
 		}
 	}
 	fmt.Printf("  eliminated early: %d of %d configurations\n", elim, len(configs))
+	if sel.Warm.Started {
+		fmt.Printf("  warm start: %d strata reused, %d known / %d fresh templates, %d pilot probes saved\n",
+			sel.Warm.StrataReused, sel.Warm.TemplatesKnown, sel.Warm.TemplatesFresh, sel.Warm.PilotSaved)
+	}
+	if *warmStateFile != "" {
+		if err := physdes.SaveWarmState(sel.State, *warmStateFile); err != nil {
+			return fmt.Errorf("warm state %s: %w", *warmStateFile, err)
+		}
+		fmt.Printf("  wrote warm state to %s\n", *warmStateFile)
+	}
 
 	if *outFile != "" {
 		data, err := json.MarshalIndent(sel.Best, "", "  ")

@@ -133,6 +133,20 @@ type Options struct {
 	// resilience layer is applied — the seam the fault-injection harness
 	// (internal/faultinject) uses to exercise failure paths end-to-end.
 	WrapOracle func(sampling.Oracle) sampling.Oracle
+
+	// WarmState, when non-nil, seeds the sampler from a prior run's
+	// snapshot (Selection.State): templates whose parameter distribution
+	// is unchanged keep their strata and moments and get a reduced pilot,
+	// new or drifted templates are re-piloted, and the snapshot's
+	// incumbent is protected by an α-gated never-adopt-worse check — a
+	// warm run that fails to certify Pr(CS) ≥ α keeps the incumbent
+	// instead of switching. An empty or incompatible snapshot degrades to
+	// a cold start bit-identical to WarmState == nil.
+	WarmState *sampling.StratState
+	// CaptureState records the final stratification into Selection.State
+	// for a later warm start. It is implied by WarmState != nil (warm
+	// chains re-capture so drift stays one generation deep).
+	CaptureState bool
 }
 
 // resilient reports whether any resilience option is active, i.e. the
@@ -208,6 +222,16 @@ type Selection struct {
 	OracleRetries, OracleFaults int64
 	// PrCSTrace, when tracing, holds the Pr(CS) evolution.
 	PrCSTrace []float64
+	// State, when Options.CaptureState or Options.WarmState was set,
+	// snapshots the final stratification for a later warm start. Its
+	// Incumbent records the configuration this selection adopted.
+	State *sampling.StratState
+	// Warm reports what a warm start reused (zero value on cold runs).
+	Warm sampling.WarmInfo
+	// IncumbentKept is true when the α-gated safety check overrode the
+	// sampler's pick: the run started warm, ended below α, and the
+	// snapshot's incumbent was kept instead of an uncertified switch.
+	IncumbentKept bool
 }
 
 // Savings returns the fraction of exhaustive optimizer calls avoided.
@@ -307,6 +331,12 @@ func SelectCtx(ctx context.Context, opt *optimizer.Optimizer, w *workload.Worklo
 		Tracer:               o.Tracer,
 		Metrics:              o.Metrics,
 	}
+	if o.WarmState != nil || o.CaptureState {
+		sOpts.WarmState = o.WarmState
+		sOpts.CaptureState = true
+		sOpts.TemplateSigs = templateSignatures(w)
+		sOpts.ConfigFingerprints = configFingerprints(configs)
+	}
 
 	sel := &Selection{ExhaustiveCalls: int64(w.Size()) * int64(len(configs))}
 
@@ -362,6 +392,22 @@ func SelectCtx(ctx context.Context, opt *optimizer.Optimizer, w *workload.Worklo
 	sel.Splits = res.Splits
 	sel.DegradedQueries = res.DegradedQueries
 	sel.PrCSTrace = res.PrCSTrace
+	sel.State = res.State
+	sel.Warm = res.Warm
+	// α-gated never-adopt-worse check: a warm run that could not certify
+	// Pr(CS) ≥ α must not move off the snapshot's incumbent — staying put
+	// is the only choice the prior run already certified.
+	if o.WarmState != nil && res.Warm.Started && o.WarmState.Incumbent != "" && sel.PrCS < o.Alpha {
+		if inc := indexOfFingerprint(sOpts.ConfigFingerprints, o.WarmState.Incumbent); inc >= 0 && inc != sel.BestIndex {
+			sel.Best = configs[inc]
+			sel.BestIndex = inc
+			sel.IncumbentKept = true
+			o.Metrics.Counter("select_incumbent_kept_total").Inc()
+		}
+	}
+	if sel.State != nil {
+		sel.State.Incumbent = sOpts.ConfigFingerprints[sel.BestIndex]
+	}
 	if hardened != nil {
 		st := hardened.Stats()
 		sel.OracleRetries = st.Retries

@@ -1,0 +1,103 @@
+package core
+
+import (
+	"strconv"
+
+	"physdes/internal/physical"
+	"physdes/internal/sampling"
+	"physdes/internal/workload"
+)
+
+// maxSigParams caps how many numeric literal positions per template feed
+// the parameter-distribution signature. TPC-D-style templates carry a
+// handful of constants; a cap keeps signatures small and comparison O(1).
+const maxSigParams = 8
+
+// templateSignatures computes the warm-start signatures of a workload:
+// per dense template (first-appearance order, matching TemplateIndexOf),
+// the stable cross-workload template ID plus Welford moments of every
+// numeric literal position across the template's members. A later run
+// compares these moments against a snapshot's to decide which templates
+// kept their parameter distribution — only the rest are re-piloted.
+func templateSignatures(w *workload.Workload) []sampling.TemplateSig {
+	tmpls := w.Templates()
+	sigs := make([]sampling.TemplateSig, len(tmpls))
+	for i, ti := range tmpls {
+		sigs[i].ID = uint64(ti.ID)
+	}
+	idx := w.TemplateIndexOf()
+	for qi, q := range w.Queries {
+		sig := &sigs[idx[qi]]
+		pos := 0
+		scanNumericLiterals(q.SQL, func(x float64) bool {
+			if pos >= len(sig.Params) {
+				if pos >= maxSigParams {
+					return false
+				}
+				sig.Params = append(sig.Params, sampling.ParamMoment{})
+			}
+			sig.Params[pos].Observe(x)
+			pos++
+			return true
+		})
+	}
+	return sigs
+}
+
+// configFingerprints returns the canonical fingerprints of the candidate
+// configurations — the cross-run alignment key of a warm snapshot.
+func configFingerprints(configs []*physical.Configuration) []string {
+	out := make([]string, len(configs))
+	for i, c := range configs {
+		out[i] = c.Fingerprint()
+	}
+	return out
+}
+
+// indexOfFingerprint finds a configuration by fingerprint (-1: absent).
+func indexOfFingerprint(fps []string, fp string) int {
+	for i, f := range fps {
+		if f == fp {
+			return i
+		}
+	}
+	return -1
+}
+
+func isIdentChar(c byte) bool {
+	return c == '_' || c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c >= '0' && c <= '9'
+}
+
+// scanNumericLiterals walks a rendered SQL statement and yields every
+// numeric literal in order, skipping single-quoted strings (dates and
+// identifiers stay out of the signature). The callback returns false to
+// stop early.
+func scanNumericLiterals(sql string, fn func(float64) bool) {
+	inStr := false
+	for i := 0; i < len(sql); i++ {
+		c := sql[i]
+		if inStr {
+			if c == '\'' {
+				inStr = false
+			}
+			continue
+		}
+		switch {
+		case c == '\'':
+			inStr = true
+		case c >= '0' && c <= '9':
+			j := i + 1
+			for j < len(sql) && (sql[j] >= '0' && sql[j] <= '9' || sql[j] == '.') {
+				j++
+			}
+			if i == 0 || !isIdentChar(sql[i-1]) {
+				if x, err := strconv.ParseFloat(sql[i:j], 64); err == nil {
+					if !fn(x) {
+						return
+					}
+				}
+			}
+			i = j - 1
+		}
+	}
+}

@@ -1,0 +1,96 @@
+package experiments
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestWarmstartRowsAndJSON runs the warm-start experiment at unit-test
+// scale and pins its contract: the unchanged-workload rerun must cut the
+// oracle bill at least in half with strata actually reused, the drift
+// phase must produce one row per window with both paths billed, and the
+// JSON artifact round-trips.
+func TestWarmstartRowsAndJSON(t *testing.T) {
+	rows, err := Warmstart(tiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 1+warmstartWindows {
+		t.Fatalf("got %d rows, want %d (rerun + %d drift windows)", len(rows), 1+warmstartWindows, warmstartWindows)
+	}
+
+	rerun := rows[0]
+	if rerun.Phase != "rerun" {
+		t.Fatalf("first row phase %q, want rerun", rerun.Phase)
+	}
+	if rerun.Reduction < 2 {
+		t.Errorf("rerun reduction %.2f×, want ≥ 2× on an unchanged workload", rerun.Reduction)
+	}
+	if rerun.StrataReused == 0 || rerun.PilotSaved == 0 {
+		t.Errorf("rerun reused %d strata, saved %d pilot probes: warm path did not engage",
+			rerun.StrataReused, rerun.PilotSaved)
+	}
+	if rerun.WarmRegret > rerun.ColdRegret {
+		t.Errorf("rerun warm regret %.4f > cold %.4f: savings bought a worse pick",
+			rerun.WarmRegret, rerun.ColdRegret)
+	}
+
+	for i, r := range rows[1:] {
+		if r.Phase != "drift" || r.Window != i {
+			t.Errorf("row %d: phase %q window %d, want drift window %d", i+1, r.Phase, r.Window, i)
+		}
+		if r.ColdCalls <= 0 || r.WarmCalls <= 0 {
+			t.Errorf("drift window %d: degenerate bills cold=%d warm=%d", r.Window, r.ColdCalls, r.WarmCalls)
+		}
+		if r.ColdRegret < 0 || r.WarmRegret < 0 {
+			t.Errorf("drift window %d: negative regret cold=%v warm=%v", r.Window, r.ColdRegret, r.WarmRegret)
+		}
+		if r.Window > 0 && r.StrataReused == 0 {
+			t.Errorf("drift window %d: no strata reused, warm chain broken", r.Window)
+		}
+		if r.Window == 0 && r.Reduction != 1 {
+			t.Errorf("drift window 0 reduction %.2f×, want exactly 1× (empty prior is bit-identical to cold)", r.Reduction)
+		}
+		if r.Window > 0 && r.Reduction <= 1 {
+			t.Errorf("drift window %d reduction %.2f×, want > 1× (per-window speedup under drift)", r.Window, r.Reduction)
+		}
+	}
+
+	path := filepath.Join(t.TempDir(), "warmstart.json")
+	if err := WriteWarmstartJSON(path, rows); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		Benchmark string         `json:"benchmark"`
+		Rows      []WarmstartRow `json:"rows"`
+	}
+	if err := json.Unmarshal(data, &doc); err != nil {
+		t.Fatalf("artifact is not valid JSON: %v", err)
+	}
+	if doc.Benchmark != "warm-start" || len(doc.Rows) != len(rows) {
+		t.Errorf("artifact header %q with %d rows, want %q with %d",
+			doc.Benchmark, len(doc.Rows), "warm-start", len(rows))
+	}
+	if doc.Rows[0] != rows[0] {
+		t.Errorf("round-trip diverged: %+v vs %+v", doc.Rows[0], rows[0])
+	}
+
+	var buf bytes.Buffer
+	if err := PrintWarmstart(&buf, rows); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Contains(buf.Bytes(), []byte("rerun")) || !bytes.Contains(buf.Bytes(), []byte("drift")) {
+		t.Error("rendered table missing phase rows")
+	}
+
+	if err := WriteWarmstartJSON(filepath.Join(t.TempDir(), "no", "such", "dir.json"), rows); err == nil {
+		t.Error("writing into a missing directory should fail")
+	}
+}

@@ -139,6 +139,25 @@ func PrintCompressionRows(out io.Writer, rows []CompressionRow) error {
 	return bw.Flush()
 }
 
+// PrintWarmstart renders the warm-start experiment: oracle bill, wall
+// time and regret of the cold vs warm path per phase and window.
+func PrintWarmstart(out io.Writer, rows []WarmstartRow) error {
+	bw := bufio.NewWriter(out)
+	fmt.Fprintln(bw, "Warm start: cold vs snapshot-seeded re-selection")
+	tw := tabwriter.NewWriter(bw, 4, 4, 2, ' ', 0)
+	fmt.Fprintf(tw, "phase\twin\tcold calls\twarm calls\treduction\tcold ms\twarm ms\tcold regret\twarm regret\tstrata reused\tpilot saved\n")
+	for _, r := range rows {
+		fmt.Fprintf(tw, "%s\t%d\t%d\t%d\t%.2f×\t%.1f\t%.1f\t%.2f%%\t%.2f%%\t%d\t%d\n",
+			r.Phase, r.Window, r.ColdCalls, r.WarmCalls, r.Reduction,
+			r.ColdMS, r.WarmMS, 100*r.ColdRegret, 100*r.WarmRegret,
+			r.StrataReused, r.PilotSaved)
+	}
+	if err := tw.Flush(); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
 // PrintCLTRows renders the Section 6 sample-size requirements.
 func PrintCLTRows(out io.Writer, rows []CLTRow) error {
 	bw := bufio.NewWriter(out)

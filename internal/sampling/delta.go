@@ -21,6 +21,17 @@ type dStratum struct {
 	cross     []stats.Kahan // per config Σ cost_best·cost_j (vs current best)
 	rowIdx    []int         // indices into the sampler's row history
 	avgOver   float64       // mean optimization overhead of member queries
+	pilotN    int           // pilot target (NMin cold, WarmPilot for reused strata)
+
+	// Prior moments from a warm snapshot, aggregated over member
+	// templates (nil on cold runs and fresh strata). They pool into the
+	// estimator means always and into difference variances while the
+	// incumbent matches the snapshot's winner; fresh samples alone drive
+	// exhaustion, census and the finite-population correction.
+	pN     []int         // per config prior sample count
+	pSum   []stats.Kahan // per config prior Σ cost
+	pSumsq []stats.Kahan // per config prior Σ cost²
+	pCross []stats.Kahan // per config prior Σ cost_best·cost_j (vs prior best)
 }
 
 func (s *dStratum) exhausted() bool { return s.next >= len(s.order) }
@@ -63,6 +74,16 @@ type deltaSampler struct {
 	sampled int
 	splits  int
 
+	// Warm-start state: the snapshot's winner remapped to a current
+	// config index (-1 cold) and per-template prior moments in current
+	// config order (nil rows for fresh templates).
+	priorBest  int
+	pTmplN     [][]int
+	pTmplSum   [][]stats.Kahan
+	pTmplSumsq [][]stats.Kahan
+	pTmplCross [][]stats.Kahan
+	winfo      WarmInfo
+
 	met     samplerMetrics
 	trace   []float64
 	split   splitScratch // reusable split-search buffers
@@ -96,10 +117,188 @@ func newDeltaSampler(o Oracle, opts Options) *deltaSampler {
 		d.tSumsq[t] = make([]stats.Kahan, k)
 		d.tCross[t] = make([]stats.Kahan, k)
 	}
-	for _, tmpls := range d.pop.initialTemplates(opts.Strat) {
-		d.addStratum(tmpls)
+	d.priorBest = -1
+	if wr := planWarm(opts.WarmState, &opts, Delta, k, d.pop); wr != nil {
+		d.initWarm(wr)
+	} else {
+		for _, tmpls := range d.pop.initialTemplates(opts.Strat) {
+			d.addStratum(tmpls)
+		}
 	}
 	return d
+}
+
+// initWarm seeds the sampler from a decoded snapshot: prior per-template
+// moments remapped to current config order, the snapshot's strata (known
+// templates only) with reduced pilots and reseeded prior moments, and
+// fresh strata for the remaining templates.
+func (d *deltaSampler) initWarm(wr *warmResume) {
+	d.priorBest = wr.best
+	if d.priorBest >= 0 {
+		d.best = d.priorBest
+	}
+	tc := len(d.tSum)
+	d.pTmplN = make([][]int, tc)
+	d.pTmplSum = make([][]stats.Kahan, tc)
+	d.pTmplSumsq = make([][]stats.Kahan, tc)
+	d.pTmplCross = make([][]stats.Kahan, tc)
+	for t := 0; t < tc && t < len(wr.stateIdx); t++ {
+		si := wr.stateIdx[t]
+		if si < 0 {
+			continue
+		}
+		ts := &wr.st.Templates[si]
+		d.pTmplN[t] = make([]int, d.k)
+		d.pTmplSum[t] = make([]stats.Kahan, d.k)
+		d.pTmplSumsq[t] = make([]stats.Kahan, d.k)
+		d.pTmplCross[t] = make([]stats.Kahan, d.k)
+		for j := 0; j < d.k; j++ {
+			pj := wr.cfgMap[j]
+			d.pTmplN[t][j] = ts.Counts[pj]
+			d.pTmplSum[t][j] = ts.Sum[pj]
+			d.pTmplSumsq[t][j] = ts.Sumsq[pj]
+			d.pTmplCross[t][j] = ts.Cross[pj]
+		}
+	}
+	groups, reused := wr.groupsFor(0, d.pop, d.opts.Strat)
+	warm := make([]*dStratum, 0, reused)
+	sizes := make([]int, 0, reused)
+	for gi, tmpls := range groups {
+		s := d.addStratum(tmpls)
+		if gi < reused {
+			warm = append(warm, s)
+			sizes = append(sizes, s.size)
+		}
+	}
+	pilots := warmPilotAlloc(sizes, d.opts.NMin, d.opts.WarmPilot)
+	for i, s := range warm {
+		s.pilotN = pilots[i]
+		s.pN = make([]int, d.k)
+		s.pSum = make([]stats.Kahan, d.k)
+		s.pSumsq = make([]stats.Kahan, d.k)
+		s.pCross = make([]stats.Kahan, d.k)
+		d.reseedStratumPrior(s)
+		if saved := minInt(d.opts.NMin, s.size) - minInt(s.pilotN, s.size); saved > 0 {
+			d.winfo.PilotSaved += saved
+		}
+	}
+	d.winfo.Started = true
+	d.winfo.StrataReused = reused
+	d.winfo.TemplatesKnown = wr.known
+	d.winfo.TemplatesFresh = wr.fresh
+	d.met.warmStarts.Inc()
+	d.met.warmStrata.Add(int64(reused))
+	d.met.warmPilotSaved.Add(int64(d.winfo.PilotSaved))
+	if tr := d.opts.Tracer; tr.Enabled() {
+		tr.Emit("warm",
+			obs.KV{Key: "strata_reused", Value: reused},
+			obs.KV{Key: "templates_known", Value: wr.known},
+			obs.KV{Key: "templates_fresh", Value: wr.fresh},
+			obs.KV{Key: "pilot_saved", Value: d.winfo.PilotSaved})
+	}
+}
+
+// reseedStratumPrior aggregates the per-template prior moments of the
+// stratum's members into its preallocated prior accumulators — the
+// moment-reseeding hot path of a warm resume (and of every later split
+// of a warm stratum).
+//
+//physdes:zeroalloc
+func (d *deltaSampler) reseedStratumPrior(s *dStratum) {
+	for j := 0; j < d.k; j++ {
+		s.pN[j] = 0
+		s.pSum[j] = stats.Kahan{}
+		s.pSumsq[j] = stats.Kahan{}
+		s.pCross[j] = stats.Kahan{}
+	}
+	for _, t := range s.templates {
+		pn := d.pTmplN[t]
+		if pn == nil {
+			continue
+		}
+		for j := 0; j < d.k; j++ {
+			s.pN[j] += pn[j]
+			s.pSum[j].AddKahan(d.pTmplSum[t][j])
+			s.pSumsq[j].AddKahan(d.pTmplSumsq[t][j])
+			s.pCross[j].AddKahan(d.pTmplCross[t][j])
+		}
+	}
+}
+
+// priorUsable reports whether stratum s's prior moments may pool into the
+// difference variance of pair (b, j): the prior cross sums are relative
+// to the snapshot's winner, so they only compose while b is that winner,
+// and both columns must cover the same prior sample (a configuration
+// eliminated mid-way through the prior run has a shorter column).
+//
+//physdes:zeroalloc
+func (d *deltaSampler) priorUsable(s *dStratum, b, j int) bool {
+	return s.pN != nil && b == d.priorBest && s.pN[b] == s.pN[j] && s.pN[b] > 0
+}
+
+// checkPriorDrift is the warm path's online safety net: every round, each
+// stratum with enough fresh samples z-tests its prior difference means
+// (best vs j — the quantity the selection actually rides on) against the
+// fresh ones and sheds the entire stratum prior on disagreement. The test
+// runs on differences, not per-configuration costs, because correlated
+// costs make the difference variance orders of magnitude smaller than the
+// within-stratum cost variance — drift invisible at the cost scale is
+// glaring at the difference scale. A snapshot that described a different
+// cost distribution (drift the parameter signatures missed) would
+// otherwise pull the pooled estimates — confidently — toward the previous
+// run's winner.
+//
+//physdes:zeroalloc
+func (d *deltaSampler) checkPriorDrift() {
+	b := d.best
+	for _, s := range d.strata {
+		if s.pN == nil || s.n < priorCheckMinFresh {
+			continue
+		}
+		drifted := false
+		for j := 0; j < d.k && !drifted; j++ {
+			if j == b || !d.alive[j] {
+				continue
+			}
+			// Prior difference means need both columns over the same prior
+			// sample (a configuration eliminated mid-way through the prior
+			// run has a shorter column).
+			pn := s.pN[b]
+			if pn != s.pN[j] || pn < 2 || s.n < 2 {
+				continue
+			}
+			fSum := s.sums[b]
+			fSum.SubKahan(s.sums[j])
+			fSumsq := s.sumsqs[b]
+			fSumsq.AddKahan(s.sumsqs[j])
+			fSumsq.SubKahan(s.cross[j].Scaled(2))
+			fVar, _ := stats.SampleVarFromKahanSums(fSum, fSumsq, s.n)
+
+			pSum := s.pSum[b]
+			pSum.SubKahan(s.pSum[j])
+			pVar := fVar
+			if b == d.priorBest {
+				pSumsq := s.pSumsq[b]
+				pSumsq.AddKahan(s.pSumsq[j])
+				pSumsq.SubKahan(s.pCross[j].Scaled(2))
+				pVar, _ = stats.SampleVarFromKahanSums(pSum, pSumsq, pn)
+			}
+			// When the incumbent moved off the snapshot's winner the prior
+			// cross sums don't compose for this pair; the fresh difference
+			// variance stands in — correlated costs keep the two close.
+			drifted = meansDiffer(fSum.Sum()/float64(s.n), fVar, s.n,
+				pSum.Sum()/float64(pn), pVar, pn)
+		}
+		if !drifted {
+			continue
+		}
+		s.pN = nil
+		s.pSum = nil
+		s.pSumsq = nil
+		s.pCross = nil
+		d.winfo.PriorDropped++
+		d.met.warmPriorDrop.Inc() //physdes:allocok atomic counter bump on the rare drop path, no heap allocation
+	}
 }
 
 func maxInt(a, b int) int {
@@ -119,6 +318,7 @@ func (d *deltaSampler) addStratum(templates []int) *dStratum {
 		sumsqs:    make([]stats.Kahan, d.k),
 		cross:     make([]stats.Kahan, d.k),
 		avgOver:   d.avgOverhead(order),
+		pilotN:    d.opts.NMin,
 	}
 	d.strata = append(d.strata, s)
 	return s
@@ -301,6 +501,11 @@ func (d *deltaSampler) estimate(j int) float64 {
 	for _, s := range d.strata {
 		globalSum.AddKahan(s.sums[j])
 		globalN += s.n
+		if s.pN != nil {
+			pe, f := priorEff(s.pN[j], s.n)
+			globalSum.AddKahan(s.pSum[j].Scaled(f))
+			globalN += pe
+		}
 	}
 	globalMean := 0.0
 	if globalN > 0 {
@@ -308,8 +513,15 @@ func (d *deltaSampler) estimate(j int) float64 {
 	}
 	var x float64
 	for _, s := range d.strata {
-		if s.n > 0 {
-			x += float64(s.size) * (s.sums[j].Sum() / float64(s.n))
+		n := s.n
+		sum := s.sums[j]
+		if s.pN != nil {
+			pe, f := priorEff(s.pN[j], s.n)
+			n += pe
+			sum.AddKahan(s.pSum[j].Scaled(f))
+		}
+		if n > 0 {
+			x += float64(s.size) * (sum.Sum() / float64(n))
 		} else {
 			x += float64(s.size) * globalMean
 		}
@@ -331,6 +543,15 @@ func (d *deltaSampler) pairDiffVar(j int) float64 {
 		gSumsq.AddKahan(s.sumsqs[j])
 		gSumsq.SubKahan(s.cross[j].Scaled(2))
 		gN += s.n
+		if d.priorUsable(s, b, j) {
+			pe, f := priorEff(s.pN[b], s.n)
+			gSum.AddKahan(s.pSum[b].Scaled(f))
+			gSum.SubKahan(s.pSum[j].Scaled(f))
+			gSumsq.AddKahan(s.pSumsq[b].Scaled(f))
+			gSumsq.AddKahan(s.pSumsq[j].Scaled(f))
+			gSumsq.SubKahan(s.pCross[j].Scaled(2 * f))
+			gN += pe
+		}
 	}
 	gVar, _ := stats.SampleVarFromKahanSums(gSum, gSumsq, gN)
 	// A conservative σ²_max bound (Section 6.2) replaces any smaller
@@ -349,13 +570,22 @@ func (d *deltaSampler) pairDiffVar(j int) float64 {
 			continue // census: no variance left
 		}
 		nEff := s.n
+		sum := s.sums[b]
+		sum.SubKahan(s.sums[j])
+		sumsq := s.sumsqs[b]
+		sumsq.AddKahan(s.sumsqs[j])
+		sumsq.SubKahan(s.cross[j].Scaled(2))
+		if d.priorUsable(s, b, j) {
+			pe, f := priorEff(s.pN[b], s.n)
+			nEff += pe
+			sum.AddKahan(s.pSum[b].Scaled(f))
+			sum.SubKahan(s.pSum[j].Scaled(f))
+			sumsq.AddKahan(s.pSumsq[b].Scaled(f))
+			sumsq.AddKahan(s.pSumsq[j].Scaled(f))
+			sumsq.SubKahan(s.pCross[j].Scaled(2 * f))
+		}
 		var s2 float64
 		if nEff >= 2 {
-			sum := s.sums[b]
-			sum.SubKahan(s.sums[j])
-			sumsq := s.sumsqs[b]
-			sumsq.AddKahan(s.sumsqs[j])
-			sumsq.SubKahan(s.cross[j].Scaled(2))
 			s2, _ = stats.SampleVarFromKahanSums(sum, sumsq, nEff)
 		} else {
 			s2 = gVar
@@ -675,13 +905,24 @@ func (d *deltaSampler) applySplit(dec splitDecision) error {
 		for _, t := range tmpls {
 			size += d.tmplSize(t)
 		}
-		return &dStratum{
+		s := &dStratum{
 			templates: tmpls,
 			size:      size,
 			sums:      make([]stats.Kahan, d.k),
 			sumsqs:    make([]stats.Kahan, d.k),
 			cross:     make([]stats.Kahan, d.k),
+			pilotN:    d.opts.NMin,
 		}
+		if parent.pN != nil {
+			// A warm stratum's children keep the prior moments of their own
+			// member templates.
+			s.pN = make([]int, d.k)
+			s.pSum = make([]stats.Kahan, d.k)
+			s.pSumsq = make([]stats.Kahan, d.k)
+			s.pCross = make([]stats.Kahan, d.k)
+			d.reseedStratumPrior(s)
+		}
+		return s
 	}
 	left, right := mk(dec.left), mk(rightTmpls)
 
@@ -789,7 +1030,7 @@ func (d *deltaSampler) pilot() error {
 			if err := d.opts.ctxErr(); err != nil {
 				return err
 			}
-			if d.strata[h].n < minInt(d.opts.NMin, d.strata[h].size) {
+			if d.strata[h].n < minInt(d.strata[h].pilotN, d.strata[h].size) {
 				p, err := d.sampleFrom(h)
 				if err != nil {
 					return err
@@ -823,7 +1064,7 @@ outer:
 		progress := false
 		for _, h := range order {
 			s := d.strata[h]
-			want := d.opts.NMin
+			want := s.pilotN
 			if want > s.size {
 				want = s.size
 			}
@@ -890,6 +1131,7 @@ func (d *deltaSampler) run() (*Result, error) {
 	if err := d.pilot(); err != nil {
 		return nil, err
 	}
+	d.checkPriorDrift()
 	d.chooseBest()
 	if tr.Enabled() {
 		tr.Emit("pilot.done",
@@ -958,6 +1200,7 @@ func (d *deltaSampler) run() (*Result, error) {
 				obs.KV{Key: "stratum_n", Value: s.n},
 				obs.KV{Key: "stratum_size", Value: s.size})
 		}
+		d.checkPriorDrift()
 		d.chooseBest()
 		p, pair = d.prCS()
 		if d.met.roundSeconds != nil {
@@ -978,7 +1221,69 @@ func (d *deltaSampler) run() (*Result, error) {
 		Splits:          d.splits,
 		DegradedQueries: d.degraded,
 		PrCSTrace:       d.trace,
+		State:           d.captureState(),
+		Warm:            d.winfo,
 	}, nil
+}
+
+// captureState snapshots the final stratification for a later warm
+// start: this run's fresh per-template tallies and moments (per config,
+// cross sums relative to the final best), plus the stratum partition as
+// template-ID groups. Only fresh samples are captured — a warm run's
+// inherited prior never compounds across chained snapshots, so staleness
+// is bounded by one generation.
+func (d *deltaSampler) captureState() *StratState {
+	tc := d.opts.TemplateCount
+	if !d.opts.CaptureState || tc <= 0 ||
+		len(d.opts.TemplateSigs) != tc || len(d.opts.ConfigFingerprints) != d.k {
+		return nil
+	}
+	// Per-template per-config sample counts from the row history: a
+	// configuration eliminated mid-run stops accumulating, so its column
+	// is shorter than the shared row count.
+	counts := make([][]int, tc)
+	for t := range counts {
+		counts[t] = make([]int, d.k)
+	}
+	for _, row := range d.rows {
+		for j := 0; j < d.k; j++ {
+			if !math.IsNaN(row.costs[j]) {
+				counts[row.tmpl][j]++
+			}
+		}
+	}
+	st := &StratState{
+		Version:        stratStateVersion,
+		Scheme:         Delta.String(),
+		Strat:          d.opts.Strat.String(),
+		K:              d.k,
+		Configs:        append([]string(nil), d.opts.ConfigFingerprints...),
+		Best:           d.best,
+		SampledQueries: d.sampled,
+	}
+	for t := 0; t < tc; t++ {
+		if d.pop.templateSize(t) == 0 {
+			continue
+		}
+		st.Templates = append(st.Templates, TemplateState{
+			ID:     d.opts.TemplateSigs[t].ID,
+			Params: append([]ParamMoment(nil), d.opts.TemplateSigs[t].Params...),
+			Counts: counts[t],
+			Sum:    append([]stats.Kahan(nil), d.tSum[t]...),
+			Sumsq:  append([]stats.Kahan(nil), d.tSumsq[t]...),
+			Cross:  append([]stats.Kahan(nil), d.tCross[t]...),
+		})
+	}
+	groups := make([][]uint64, 0, len(d.strata))
+	for _, s := range d.strata {
+		g := make([]uint64, len(s.templates))
+		for i, t := range s.templates {
+			g[i] = d.opts.TemplateSigs[t].ID
+		}
+		groups = append(groups, g)
+	}
+	st.Partitions = [][][]uint64{groups}
+	return st
 }
 
 func (d *deltaSampler) exhaustedAll() bool {

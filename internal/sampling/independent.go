@@ -21,6 +21,16 @@ type icStratum struct {
 	sum       stats.Kahan
 	sumsq     stats.Kahan
 	avgOver   float64
+	pilotN    int // pilot target (NMin cold, WarmPilot for reused strata)
+
+	// Prior moments from a warm snapshot, aggregated over member
+	// templates. They pool into this configuration's mean and variance
+	// estimates; fresh samples alone drive exhaustion, census and the
+	// finite-population correction.
+	hasPrior bool
+	pN       int
+	pSum     stats.Kahan
+	pSumsq   stats.Kahan
 }
 
 func (s *icStratum) exhausted() bool { return s.next >= len(s.order) }
@@ -57,10 +67,18 @@ type independentSampler struct {
 	sampled     int
 	degraded    int // probes degraded by skip-and-reweight
 	lastSampled int // configuration index of the last sample
-	met         samplerMetrics
-	trace       []float64
-	split       splitScratch // reusable split-search buffers
-	pairBuf     []float64    // reusable pairwise Pr(CS) buffer
+
+	// Warm-start state: per-template prior moments in current config
+	// order (nil rows for fresh templates).
+	pTmplN     [][]int
+	pTmplSum   [][]stats.Kahan
+	pTmplSumsq [][]stats.Kahan
+	winfo      WarmInfo
+
+	met     samplerMetrics
+	trace   []float64
+	split   splitScratch // reusable split-search buffers
+	pairBuf []float64    // reusable pairwise Pr(CS) buffer
 }
 
 func newIndependentSampler(o Oracle, opts Options) *independentSampler {
@@ -90,12 +108,128 @@ func newIndependentSampler(o Oracle, opts Options) *independentSampler {
 		s.tSum[t] = make([]stats.Kahan, k)
 		s.tSumsq[t] = make([]stats.Kahan, k)
 	}
-	for j := 0; j < k; j++ {
-		for _, tmpls := range s.pop.initialTemplates(opts.Strat) {
-			s.addStratum(j, tmpls)
+	if wr := planWarm(opts.WarmState, &opts, Independent, k, s.pop); wr != nil {
+		s.initWarm(wr)
+	} else {
+		for j := 0; j < k; j++ {
+			for _, tmpls := range s.pop.initialTemplates(opts.Strat) {
+				s.addStratum(j, tmpls)
+			}
 		}
 	}
 	return s
+}
+
+// initWarm seeds the sampler from a decoded snapshot: prior per-template
+// moments remapped to current config order, then each configuration's
+// prior stratification (known templates only) with reduced pilots and
+// reseeded moments, plus fresh strata for the rest.
+func (s *independentSampler) initWarm(wr *warmResume) {
+	tc := len(s.tSum)
+	s.pTmplN = make([][]int, tc)
+	s.pTmplSum = make([][]stats.Kahan, tc)
+	s.pTmplSumsq = make([][]stats.Kahan, tc)
+	for t := 0; t < tc && t < len(wr.stateIdx); t++ {
+		si := wr.stateIdx[t]
+		if si < 0 {
+			continue
+		}
+		ts := &wr.st.Templates[si]
+		s.pTmplN[t] = make([]int, s.k)
+		s.pTmplSum[t] = make([]stats.Kahan, s.k)
+		s.pTmplSumsq[t] = make([]stats.Kahan, s.k)
+		for j := 0; j < s.k; j++ {
+			pj := wr.cfgMap[j]
+			s.pTmplN[t][j] = ts.Counts[pj]
+			s.pTmplSum[t][j] = ts.Sum[pj]
+			s.pTmplSumsq[t][j] = ts.Sumsq[pj]
+		}
+	}
+	reusedTotal := 0
+	for j := 0; j < s.k; j++ {
+		groups, reused := wr.groupsFor(wr.cfgMap[j], s.pop, s.opts.Strat)
+		warm := make([]*icStratum, 0, reused)
+		sizes := make([]int, 0, reused)
+		for gi, tmpls := range groups {
+			st := s.addStratum(j, tmpls)
+			if gi < reused {
+				warm = append(warm, st)
+				sizes = append(sizes, st.size)
+			}
+		}
+		pilots := warmPilotAlloc(sizes, s.opts.NMin, s.opts.WarmPilot)
+		for i, st := range warm {
+			st.pilotN = pilots[i]
+			s.reseedStratumPrior(j, st)
+			if saved := minInt(s.opts.NMin, st.size) - minInt(st.pilotN, st.size); saved > 0 {
+				s.winfo.PilotSaved += saved
+			}
+		}
+		reusedTotal += reused
+	}
+	s.winfo.Started = true
+	s.winfo.StrataReused = reusedTotal
+	s.winfo.TemplatesKnown = wr.known
+	s.winfo.TemplatesFresh = wr.fresh
+	s.met.warmStarts.Inc()
+	s.met.warmStrata.Add(int64(reusedTotal))
+	s.met.warmPilotSaved.Add(int64(s.winfo.PilotSaved))
+	if tr := s.opts.Tracer; tr.Enabled() {
+		tr.Emit("warm",
+			obs.KV{Key: "strata_reused", Value: reusedTotal},
+			obs.KV{Key: "templates_known", Value: wr.known},
+			obs.KV{Key: "templates_fresh", Value: wr.fresh},
+			obs.KV{Key: "pilot_saved", Value: s.winfo.PilotSaved})
+	}
+}
+
+// reseedStratumPrior aggregates the member templates' prior moments for
+// configuration j into the stratum's prior accumulators — the
+// moment-reseeding hot path of a warm resume and of warm-stratum splits.
+//
+//physdes:zeroalloc
+func (s *independentSampler) reseedStratumPrior(j int, st *icStratum) {
+	st.pN = 0
+	st.pSum = stats.Kahan{}
+	st.pSumsq = stats.Kahan{}
+	for _, t := range st.templates {
+		pn := s.pTmplN[t]
+		if pn == nil {
+			continue
+		}
+		st.pN += pn[j]
+		st.pSum.AddKahan(s.pTmplSum[t][j])
+		st.pSumsq.AddKahan(s.pTmplSumsq[t][j])
+	}
+	st.hasPrior = true
+}
+
+// checkPriorDrift is the warm path's online safety net (see the Delta
+// sampler's variant): every round, each stratum with enough fresh samples
+// z-tests its prior mean against the fresh one and sheds the prior on
+// disagreement.
+//
+//physdes:zeroalloc
+func (s *independentSampler) checkPriorDrift() {
+	for j := 0; j < s.k; j++ {
+		if !s.alive[j] {
+			continue
+		}
+		for _, st := range s.cfg[j].strata {
+			if !st.hasPrior || st.n < priorCheckMinFresh {
+				continue
+			}
+			if !priorMeansDiffer(st.sum, st.sumsq, st.n, st.pSum, st.pSumsq, st.pN) {
+				continue
+			}
+			st.hasPrior = false
+			st.pN = 0
+			st.pSum = stats.Kahan{}
+			st.pSumsq = stats.Kahan{}
+			s.winfo.PriorDropped++
+			s.met.warmPriorDrop.Inc() //physdes:allocok atomic counter bump on the rare drop path, no heap allocation
+		}
+	}
 }
 
 func (s *independentSampler) addStratum(j int, templates []int) *icStratum {
@@ -105,6 +239,7 @@ func (s *independentSampler) addStratum(j int, templates []int) *icStratum {
 		size:      len(order),
 		order:     order,
 		avgOver:   1,
+		pilotN:    s.opts.NMin,
 	}
 	if s.opts.CallCost != nil && st.size > 0 {
 		var sum float64
@@ -186,6 +321,11 @@ func (s *independentSampler) estimate(j int) float64 {
 	for _, st := range s.cfg[j].strata {
 		gSum.AddKahan(st.sum)
 		gN += st.n
+		if st.hasPrior {
+			pe, f := priorEff(st.pN, st.n)
+			gSum.AddKahan(st.pSum.Scaled(f))
+			gN += pe
+		}
 	}
 	gMean := 0.0
 	if gN > 0 {
@@ -193,8 +333,15 @@ func (s *independentSampler) estimate(j int) float64 {
 	}
 	var x float64
 	for _, st := range s.cfg[j].strata {
-		if st.n > 0 {
-			x += float64(st.size) * (st.sum.Sum() / float64(st.n))
+		n := st.n
+		sum := st.sum
+		if st.hasPrior {
+			pe, f := priorEff(st.pN, st.n)
+			n += pe
+			sum.AddKahan(st.pSum.Scaled(f))
+		}
+		if n > 0 {
+			x += float64(st.size) * (sum.Sum() / float64(n))
 		} else {
 			x += float64(st.size) * gMean
 		}
@@ -210,6 +357,12 @@ func (s *independentSampler) estVar(j int) float64 {
 		gSum.AddKahan(st.sum)
 		gSumsq.AddKahan(st.sumsq)
 		gN += st.n
+		if st.hasPrior {
+			pe, f := priorEff(st.pN, st.n)
+			gSum.AddKahan(st.pSum.Scaled(f))
+			gSumsq.AddKahan(st.pSumsq.Scaled(f))
+			gN += pe
+		}
 	}
 	gVar, _ := stats.SampleVarFromKahanSums(gSum, gSumsq, gN)
 	boundS2, haveBound := 0.0, false
@@ -225,9 +378,17 @@ func (s *independentSampler) estVar(j int) float64 {
 			continue
 		}
 		nEff := st.n
+		sum := st.sum
+		sumsq := st.sumsq
+		if st.hasPrior {
+			pe, f := priorEff(st.pN, st.n)
+			nEff += pe
+			sum.AddKahan(st.pSum.Scaled(f))
+			sumsq.AddKahan(st.pSumsq.Scaled(f))
+		}
 		var s2 float64
 		if nEff >= 2 {
-			s2, _ = stats.SampleVarFromKahanSums(st.sum, st.sumsq, nEff)
+			s2, _ = stats.SampleVarFromKahanSums(sum, sumsq, nEff)
 		} else {
 			s2 = gVar
 			if nEff == 0 {
@@ -489,6 +650,12 @@ func (s *independentSampler) applySplit(ci int, dec splitDecision) error {
 	s.cfg[ci].strata = strata[:len(strata)-1]
 	left := s.addStratum(ci, dec.left)
 	right := s.addStratum(ci, rightTmpls)
+	if parent.hasPrior {
+		// A warm stratum's children keep the prior moments of their own
+		// member templates.
+		s.reseedStratumPrior(ci, left)
+		s.reseedStratumPrior(ci, right)
+	}
 	s.cfg[ci].splits++
 	s.met.splits.Inc()
 	if tr := s.opts.Tracer; tr.Enabled() {
@@ -543,7 +710,7 @@ func (s *independentSampler) pilot() error {
 			}
 			for h := range s.cfg[j].strata {
 				st := s.cfg[j].strata[h]
-				if st.n < minInt(s.opts.NMin, st.size) {
+				if st.n < minInt(st.pilotN, st.size) {
 					p, err := s.sampleFrom(j, h)
 					if err != nil {
 						return err
@@ -577,7 +744,7 @@ outer:
 		progress := false
 		for _, j := range order {
 			for h, st := range s.cfg[j].strata {
-				want := s.opts.NMin
+				want := st.pilotN
 				if want > st.size {
 					want = st.size
 				}
@@ -634,6 +801,7 @@ func (s *independentSampler) run() (*Result, error) {
 	if err := s.pilot(); err != nil {
 		return nil, err
 	}
+	s.checkPriorDrift()
 	s.chooseBest()
 	if tr.Enabled() {
 		tr.Emit("pilot.done",
@@ -700,6 +868,7 @@ func (s *independentSampler) run() (*Result, error) {
 				obs.KV{Key: "stratum_n", Value: st.n},
 				obs.KV{Key: "stratum_size", Value: st.size})
 		}
+		s.checkPriorDrift()
 		s.chooseBest()
 		p, pair = s.prCS()
 		if s.met.roundSeconds != nil {
@@ -727,7 +896,55 @@ func (s *independentSampler) run() (*Result, error) {
 		Splits:          splits,
 		DegradedQueries: s.degraded,
 		PrCSTrace:       s.trace,
+		State:           s.captureState(),
+		Warm:            s.winfo,
 	}, nil
+}
+
+// captureState snapshots the final per-configuration stratifications and
+// this run's fresh per-template tallies and moments for a later warm
+// start. Inherited prior moments are not re-captured (see the Delta
+// sampler's captureState).
+func (s *independentSampler) captureState() *StratState {
+	tc := s.opts.TemplateCount
+	if !s.opts.CaptureState || tc <= 0 ||
+		len(s.opts.TemplateSigs) != tc || len(s.opts.ConfigFingerprints) != s.k {
+		return nil
+	}
+	st := &StratState{
+		Version:        stratStateVersion,
+		Scheme:         Independent.String(),
+		Strat:          s.opts.Strat.String(),
+		K:              s.k,
+		Configs:        append([]string(nil), s.opts.ConfigFingerprints...),
+		Best:           s.best,
+		SampledQueries: s.sampled,
+	}
+	for t := 0; t < tc; t++ {
+		if s.pop.templateSize(t) == 0 {
+			continue
+		}
+		st.Templates = append(st.Templates, TemplateState{
+			ID:     s.opts.TemplateSigs[t].ID,
+			Params: append([]ParamMoment(nil), s.opts.TemplateSigs[t].Params...),
+			Counts: append([]int(nil), s.tCount[t]...),
+			Sum:    append([]stats.Kahan(nil), s.tSum[t]...),
+			Sumsq:  append([]stats.Kahan(nil), s.tSumsq[t]...),
+		})
+	}
+	st.Partitions = make([][][]uint64, s.k)
+	for j := 0; j < s.k; j++ {
+		groups := make([][]uint64, 0, len(s.cfg[j].strata))
+		for _, ics := range s.cfg[j].strata {
+			g := make([]uint64, len(ics.templates))
+			for i, t := range ics.templates {
+				g[i] = s.opts.TemplateSigs[t].ID
+			}
+			groups = append(groups, g)
+		}
+		st.Partitions[j] = groups
+	}
+	return st
 }
 
 func (s *independentSampler) exhaustedAll() bool {

@@ -131,6 +131,32 @@ type Options struct {
 	// count calls.
 	CallCost func(q int) float64
 
+	// WarmState, when non-nil and compatible with this run (same scheme
+	// and stratification mode, every configuration fingerprint present in
+	// the snapshot), seeds the sampler from a prior run's snapshot:
+	// unchanged templates keep their strata and prior moments and get the
+	// reduced WarmPilot, while new or drifted templates are re-piloted
+	// from scratch. An incompatible or empty snapshot degrades to a cold
+	// start that is bit-identical to WarmState == nil.
+	WarmState *StratState
+	// TemplateSigs identifies the current templates for warm starting and
+	// state capture (dense template order); required for both.
+	TemplateSigs []TemplateSig
+	// ConfigFingerprints aligns configurations across runs (canonical
+	// physical.Configuration fingerprints, one per oracle configuration);
+	// required for warm starting and state capture.
+	ConfigFingerprints []string
+	// CaptureState records the final stratification into Result.State
+	// (requires TemplateSigs and ConfigFingerprints).
+	CaptureState bool
+	// WarmPilot caps the per-stratum warm pilot (default 10, minimum 2).
+	// Strata reused from a warm snapshot share one NMin-sized pilot
+	// budget allocated proportionally to stratum size and clamped to
+	// [2, WarmPilot] each, so a deeply split snapshot never pays more
+	// pilot probes than a cold single-stratum start. Fresh strata keep
+	// the full NMin.
+	WarmPilot int
+
 	// TracePrCS records Pr(CS) after every sample into Result.PrCSTrace
 	// (what RunTraced toggles).
 	TracePrCS bool
@@ -158,6 +184,12 @@ func (o Options) withDefaults() Options {
 	}
 	if o.MinTemplateObs <= 0 {
 		o.MinTemplateObs = 2
+	}
+	if o.WarmPilot <= 0 {
+		o.WarmPilot = 10
+	}
+	if o.WarmPilot < 2 {
+		o.WarmPilot = 2
 	}
 	return o
 }
@@ -214,4 +246,10 @@ type Result struct {
 	DegradedQueries int
 	// PrCSTrace, when tracing was enabled, holds Pr(CS) after each sample.
 	PrCSTrace []float64
+	// State, when Options.CaptureState was set (and TemplateSigs /
+	// ConfigFingerprints were provided), snapshots the final
+	// stratification for a later warm start.
+	State *StratState
+	// Warm reports what a warm start reused (zero value on cold runs).
+	Warm WarmInfo
 }

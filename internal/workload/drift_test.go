@@ -1,0 +1,165 @@
+package workload
+
+import (
+	"math"
+	"reflect"
+	"testing"
+)
+
+func TestGenTPCDDriftDeterministic(t *testing.T) {
+	o := DriftOptions{Windows: 4, Size: 80, Seed: 7}
+	a, err := GenTPCDDrift(tpcdCat, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := GenTPCDDrift(tpcdCat, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a) != 4 {
+		t.Fatalf("windows = %d, want 4", len(a))
+	}
+	for wi := range a {
+		if !reflect.DeepEqual(a[wi].Active, b[wi].Active) {
+			t.Errorf("window %d: active sets differ", wi)
+		}
+		for qi := range a[wi].W.Queries {
+			if a[wi].W.Queries[qi].SQL != b[wi].W.Queries[qi].SQL {
+				t.Fatalf("window %d query %d differs across runs", wi, qi)
+			}
+		}
+	}
+}
+
+func TestGenTPCDDriftChurnAndShift(t *testing.T) {
+	o := DriftOptions{Windows: 3, Size: 60, Churn: 2, ThetaDrift: 0.2, Seed: 11}
+	ws, err := GenTPCDDrift(tpcdCat, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ws[0].ThetaShift != 0 {
+		t.Errorf("window 0 shift = %v, want 0", ws[0].ThetaShift)
+	}
+	if math.Abs(ws[2].ThetaShift-0.4) > 1e-12 {
+		t.Errorf("window 2 shift = %v, want 0.4", ws[2].ThetaShift)
+	}
+	// Churn must change the active set at some boundary.
+	changed := false
+	for wi := 1; wi < len(ws); wi++ {
+		if !reflect.DeepEqual(ws[wi].Active, ws[wi-1].Active) {
+			changed = true
+		}
+	}
+	if !changed {
+		t.Error("no template churn across 3 windows with Churn=2")
+	}
+	// Template identity is stable: the same template name observed in two
+	// windows must parse to the same shape-hash ID.
+	seen := make(map[string]uint64)
+	for wi, w := range ws {
+		for i, name := range w.Active {
+			id := w.IDs[i]
+			if id == 0 {
+				continue // never drawn in this window
+			}
+			if prev, ok := seen[name]; ok && prev != id {
+				t.Errorf("window %d: template %q ID %d != earlier %d", wi, name, id, prev)
+			}
+			seen[name] = id
+		}
+	}
+}
+
+func TestGenTPCDDriftWeightsNormalized(t *testing.T) {
+	ws, err := GenTPCDDrift(tpcdCat, DriftOptions{Windows: 2, Size: 30, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for wi, w := range ws {
+		if len(w.Weights) != len(w.Active) || len(w.IDs) != len(w.Active) {
+			t.Fatalf("window %d: parallel slices misaligned", wi)
+		}
+		sum := 0.0
+		for _, wt := range w.Weights {
+			if wt <= 0 {
+				t.Errorf("window %d: non-positive weight %v", wi, wt)
+			}
+			sum += wt
+		}
+		if math.Abs(sum-1) > 1e-9 {
+			t.Errorf("window %d: weights sum to %v, want 1", wi, sum)
+		}
+	}
+}
+
+// FuzzWorkloadDrift pins the drift-generator invariants under arbitrary
+// option combinations: seed-determinism, window sizing, normalized
+// weights, and stable template name→ID identity across windows.
+func FuzzWorkloadDrift(f *testing.F) {
+	f.Add(uint64(1), 3, 40, 8, 2, 0.15)
+	f.Add(uint64(99), 2, 25, 17, 5, -0.3)
+	f.Add(uint64(42), 5, 10, 1, 1, 0.0)
+	f.Fuzz(func(t *testing.T, seed uint64, windows, size, activeN, churn int, theta float64) {
+		if windows < 1 || windows > 6 || size < 1 || size > 120 {
+			t.Skip()
+		}
+		if activeN < 0 || activeN > 32 || churn < 0 || churn > 8 {
+			t.Skip()
+		}
+		if math.IsNaN(theta) || math.IsInf(theta, 0) || math.Abs(theta) > 2 {
+			t.Skip()
+		}
+		o := DriftOptions{
+			Windows: windows, Size: size, ActiveTemplates: activeN,
+			Churn: churn, ThetaDrift: theta, Seed: seed,
+		}
+		a, err := GenTPCDDrift(tpcdCat, o)
+		if err != nil {
+			t.Fatalf("GenTPCDDrift: %v", err)
+		}
+		b, err := GenTPCDDrift(tpcdCat, o)
+		if err != nil {
+			t.Fatalf("GenTPCDDrift (rerun): %v", err)
+		}
+		if len(a) != windows {
+			t.Fatalf("got %d windows, want %d", len(a), windows)
+		}
+		seen := make(map[string]uint64)
+		for wi := range a {
+			aw, bw := a[wi], b[wi]
+			// Seed-determinism: both runs generate identical windows.
+			if !reflect.DeepEqual(aw.Active, bw.Active) ||
+				!reflect.DeepEqual(aw.IDs, bw.IDs) ||
+				!reflect.DeepEqual(aw.Weights, bw.Weights) {
+				t.Fatalf("window %d: metadata differs across identical seeds", wi)
+			}
+			if aw.W.Size() != bw.W.Size() || aw.W.Size() != size {
+				t.Fatalf("window %d: size %d, want %d", wi, aw.W.Size(), size)
+			}
+			for qi := range aw.W.Queries {
+				if aw.W.Queries[qi].SQL != bw.W.Queries[qi].SQL {
+					t.Fatalf("window %d query %d differs across identical seeds", wi, qi)
+				}
+			}
+			// Normalized weights over the active set.
+			sum := 0.0
+			for _, wt := range aw.Weights {
+				sum += wt
+			}
+			if math.Abs(sum-1) > 1e-9 {
+				t.Fatalf("window %d: weights sum to %v", wi, sum)
+			}
+			// Stable template identity across windows.
+			for i, name := range aw.Active {
+				id := aw.IDs[i]
+				if id == 0 {
+					continue
+				}
+				if prev, ok := seen[name]; ok && prev != id {
+					t.Fatalf("template %q: ID %d in window %d vs earlier %d", name, id, wi, prev)
+				}
+				seen[name] = id
+			}
+		}
+	})
+}

@@ -19,6 +19,10 @@ type tpcdGen struct {
 	rng *stats.RNG
 	// per-column Zipf generators, keyed by table.column
 	zipfs map[string]*stats.ZipfGen
+	// thetaShift is added to every column's Zipf skew parameter before a
+	// generator is built — the knob drift windows use to shift constant
+	// distributions without touching the catalog.
+	thetaShift float64
 }
 
 // drawRank draws a value (= frequency rank) from the column's distribution,
@@ -37,6 +41,10 @@ func (g *tpcdGen) drawRank(table, column string) int {
 			if n < 1 {
 				n = 1
 			}
+		}
+		theta += g.thetaShift
+		if theta < 0 {
+			theta = 0
 		}
 		z = stats.NewZipfGen(n, theta)
 		g.zipfs[key] = z
@@ -244,23 +252,34 @@ var tpcdTemplates = []tpcdTemplate{
 // skewed value distributions.
 func GenTPCD(cat *catalog.Catalog, n int, seed uint64) (*Workload, error) {
 	g := &tpcdGen{cat: cat, rng: stats.NewRNG(seed), zipfs: make(map[string]*stats.ZipfGen)}
+	sqls, _ := genWeighted(g, n, tpcdTemplates)
+	return Parse(cat, sqls)
+}
+
+// genWeighted draws n statements from tmpls by weight, returning the
+// rendered SQL alongside the index (into tmpls) of each statement's
+// template. The RNG draw order matches the historical GenTPCD loop
+// exactly so existing seeds keep producing identical workloads.
+func genWeighted(g *tpcdGen, n int, tmpls []tpcdTemplate) ([]string, []int) {
 	total := 0
-	for _, t := range tpcdTemplates {
+	for _, t := range tmpls {
 		total += t.weight
 	}
 	sqls := make([]string, 0, n)
+	picks := make([]int, 0, n)
 	for len(sqls) < n {
 		// Weighted template choice.
 		r := g.rng.Intn(total)
-		for _, t := range tpcdTemplates {
+		for ti, t := range tmpls {
 			if r < t.weight {
 				sqls = append(sqls, t.gen(g))
+				picks = append(picks, ti)
 				break
 			}
 			r -= t.weight
 		}
 	}
-	return Parse(cat, sqls)
+	return sqls, picks
 }
 
 // NumTPCDTemplates reports how many distinct templates GenTPCD draws from.

@@ -34,7 +34,9 @@ package physdes
 
 import (
 	"context"
+	"errors"
 	"io"
+	"os"
 
 	"physdes/internal/catalog"
 	"physdes/internal/compress"
@@ -141,6 +143,20 @@ type (
 	// AtomPlan is the decomposition of one (statement, configuration)
 	// what-if evaluation into shareable atoms (see DecomposeAtoms).
 	AtomPlan = optimizer.AtomPlan
+	// WarmState is a serializable snapshot of a selection's final
+	// stratification and per-template cost moments (Selection.State when
+	// Options.CaptureState is set). Feed it back through
+	// Options.WarmState to seed the next selection: unchanged templates
+	// keep their strata and priors, new or drifted ones are re-piloted.
+	WarmState = sampling.StratState
+	// WarmInfo reports what a warm-started selection actually reused
+	// (Selection.Warm; zero value on cold runs).
+	WarmInfo = sampling.WarmInfo
+	// DriftOptions configures GenTPCDDrift's windowed workload: window
+	// count and size, per-window template churn, and Zipf-θ drift.
+	DriftOptions = workload.DriftOptions
+	// DriftWindow is one window of a drifting workload.
+	DriftWindow = workload.DriftWindow
 )
 
 // Atom-sharing modes for the selection oracle (Options.AtomSharing).
@@ -255,6 +271,36 @@ func NewMetricsRegistry() *MetricsRegistry { return obs.NewRegistry() }
 // stop function finalizing it.
 func StartCPUProfile(path string) (stop func() error, err error) {
 	return obs.StartCPUProfile(path)
+}
+
+// GenTPCDDrift builds an ordered sequence of TPC-D workload windows
+// whose template mix churns and whose Zipf skew drifts window to window —
+// the warm-start engine's target regime (see DriftOptions).
+func GenTPCDDrift(cat *Catalog, o DriftOptions) ([]DriftWindow, error) {
+	return workload.GenTPCDDrift(cat, o)
+}
+
+// SaveWarmState writes a selection snapshot (Selection.State) to path in
+// canonical JSON: byte-identical output for equal states, so re-saving a
+// reloaded snapshot is a no-op.
+func SaveWarmState(st *WarmState, path string) error {
+	if st == nil {
+		return errors.New("physdes: nil warm state (set Options.CaptureState)")
+	}
+	data, err := st.MarshalCanonical()
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, data, 0o644)
+}
+
+// LoadWarmState reads a snapshot written by SaveWarmState.
+func LoadWarmState(path string) (*WarmState, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	return sampling.DecodeStratState(data)
 }
 
 // GenTPCD generates an n-statement QGEN-style TPC-D workload.
