@@ -373,6 +373,25 @@ func run(exp string, p experiments.Params, csvDir string, reg *obs.Registry, par
 		}
 		fmt.Fprintln(out)
 	}
+	if exp == "serve" {
+		// Not part of `all`: a 200-session load run is a stress test, not
+		// a paper figure.
+		sessions, perSession, tenants := 200, 2, 16
+		res, err := experiments.ServeLoad(sessions, perSession, tenants, p)
+		if err != nil {
+			return err
+		}
+		if err := experiments.PrintServeLoad(out, res); err != nil {
+			return err
+		}
+		if jsonOut != "" {
+			if err := experiments.WriteServeJSON(jsonOut, res); err != nil {
+				return err
+			}
+			fmt.Fprintf(out, "  wrote load run to %s\n", jsonOut)
+		}
+		fmt.Fprintln(out)
+	}
 	if all || exp == "drift" {
 		rows, err := experiments.Warmstart(p)
 		if err != nil {
@@ -403,7 +422,7 @@ func run(exp string, p experiments.Params, csvDir string, reg *obs.Registry, par
 	}
 	if !all {
 		switch exp {
-		case "table1", "fig1", "fig2", "fig3", "fig4", "table2", "table3", "sec73", "clt", "elim", "stability", "rho", "batching", "scaling", "parallel", "strat", "atoms", "drift":
+		case "table1", "fig1", "fig2", "fig3", "fig4", "table2", "table3", "sec73", "clt", "elim", "stability", "rho", "batching", "scaling", "parallel", "strat", "atoms", "drift", "serve":
 		default:
 			return fmt.Errorf("unknown experiment %q", exp)
 		}

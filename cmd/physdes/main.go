@@ -61,6 +61,8 @@ func main() {
 		err = cmdCompare(os.Args[2:])
 	case "report":
 		err = cmdReport(os.Args[2:])
+	case "submit":
+		err = cmdSubmit(os.Args[2:])
 	case "-h", "--help", "help":
 		usage()
 	default:
@@ -88,6 +90,9 @@ func usage() {
                   [-out rec.json] [-seed S]
   physdes compare -db tpcd|crm -a cur.json -b new.json [-alpha A] [-delta-frac F]
                   [-workload FILE | -n N] [-seed S]
+  physdes submit  -server URL [-tenant T] -db tpcd|crm -n N -k K [-seed S]
+                  [-alpha A] [-scheme SCH] [-strat ST] [-parallelism P]
+                  [-conservative] [-follow] [-wait=false]
   physdes report  trace.jsonl|report.json`)
 }
 

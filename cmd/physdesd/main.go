@@ -1,0 +1,72 @@
+// Command physdesd is the advisor daemon: a long-running multi-tenant
+// HTTP/JSON service exposing the comparison primitive. See README
+// "Advisor service" and DESIGN §5c for the API and architecture.
+//
+// Usage:
+//
+//	physdesd [-addr :8639] [-runners N] [-queue 64]
+//	         [-call-budget N] [-error-budget N] [-max-retries N]
+//	         [-degrade fail|skip|conservative]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"physdes/internal/serve"
+)
+
+func main() {
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	if err := run(os.Args[1:], sig, os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "physdesd:", err)
+		os.Exit(1)
+	}
+}
+
+// run starts the daemon and serves until stop delivers, then shuts down
+// cleanly. Split from main so tests can drive the whole lifecycle.
+func run(args []string, stop <-chan os.Signal, out io.Writer) error {
+	fs := flag.NewFlagSet("physdesd", flag.ContinueOnError)
+	fs.SetOutput(out)
+	addr := fs.String("addr", ":8639", "listen address")
+	runners := fs.Int("runners", 0, "concurrent job runners (0 = GOMAXPROCS)")
+	queue := fs.Int("queue", 64, "job queue depth before 429s")
+	retryAfter := fs.Int("retry-after", 1, "Retry-After seconds on 429")
+	callBudget := fs.Int64("call-budget", 0, "per-tenant cumulative optimizer-call budget (0 = unlimited)")
+	errorBudget := fs.Int("error-budget", 0, "per-job oracle error budget (0 = unlimited)")
+	maxRetries := fs.Int("max-retries", 0, "per-job oracle retry attempts")
+	degrade := fs.String("degrade", "fail", "degradation policy: fail, skip or conservative")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	s := serve.New(serve.Config{
+		Runners:           *runners,
+		QueueDepth:        *queue,
+		RetryAfterSeconds: *retryAfter,
+		Limits: serve.TenantLimits{
+			CallBudget:  *callBudget,
+			ErrorBudget: *errorBudget,
+			MaxRetries:  *maxRetries,
+			Degrade:     *degrade,
+		},
+	})
+	bound, err := s.Start(*addr)
+	if err != nil {
+		s.Close() //physdes:errok the listen failure is the error worth reporting
+		return err
+	}
+	fmt.Fprintf(out, "physdesd: serving on http://%s\n", bound)
+	fmt.Fprintln(out, "  POST /v1/workloads  POST /v1/jobs  GET /v1/jobs/{id}  DELETE /v1/jobs/{id}")
+	fmt.Fprintln(out, "  GET /v1/jobs/{id}/events (SSE)  GET /healthz  GET /metrics")
+
+	<-stop
+	fmt.Fprintln(out, "physdesd: shutting down")
+	return s.Close()
+}

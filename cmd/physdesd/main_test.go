@@ -1,0 +1,128 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"os"
+	"regexp"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// syncBuffer is an io.Writer safe to read while run() writes from its
+// own goroutine.
+type syncBuffer struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+func (b *syncBuffer) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.Write(p)
+}
+
+func (b *syncBuffer) String() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.String()
+}
+
+var boundRe = regexp.MustCompile(`serving on http://(\S+)`)
+
+// TestDaemonLifecycle drives the whole binary path short of main: start
+// on an ephemeral port, serve a real job over TCP, shut down on signal.
+func TestDaemonLifecycle(t *testing.T) {
+	out := &syncBuffer{}
+	stop := make(chan os.Signal, 1)
+	done := make(chan error, 1)
+	go func() {
+		done <- run([]string{"-addr", "127.0.0.1:0", "-runners", "2", "-queue", "4"}, stop, out)
+	}()
+
+	var base string
+	deadline := time.Now().Add(5 * time.Second)
+	for base == "" {
+		if m := boundRe.FindStringSubmatch(out.String()); m != nil {
+			base = "http://" + m[1]
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("daemon never announced its address; output:\n%s", out.String())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	resp, err := http.Post(base+"/v1/workloads", "application/json",
+		strings.NewReader(`{"db":"tpcd","n":30,"seed":7}`))
+	if err != nil {
+		t.Fatalf("upload: %v", err)
+	}
+	var w struct {
+		ID string `json:"id"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&w); err != nil {
+		t.Fatalf("decode upload: %v", err)
+	}
+	resp.Body.Close()
+	if w.ID != "w1" {
+		t.Fatalf("workload id %q, want w1", w.ID)
+	}
+
+	resp, err = http.Post(base+"/v1/jobs", "application/json",
+		strings.NewReader(`{"workload":"w1","k":4,"seed":7}`))
+	if err != nil {
+		t.Fatalf("submit: %v", err)
+	}
+	var j struct {
+		ID string `json:"id"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&j); err != nil {
+		t.Fatalf("decode submit: %v", err)
+	}
+	resp.Body.Close()
+
+	for {
+		resp, err = http.Get(base + "/v1/jobs/" + j.ID)
+		if err != nil {
+			t.Fatalf("poll: %v", err)
+		}
+		var st struct {
+			Status string `json:"status"`
+			Error  string `json:"error"`
+		}
+		if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+			t.Fatalf("decode poll: %v", err)
+		}
+		resp.Body.Close()
+		if st.Status == "done" {
+			break
+		}
+		if st.Status == "failed" || st.Status == "cancelled" {
+			t.Fatalf("job ended %s: %s", st.Status, st.Error)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	stop <- os.Interrupt
+	if err := <-done; err != nil {
+		t.Fatalf("run returned %v", err)
+	}
+	if !strings.Contains(out.String(), "shutting down") {
+		t.Errorf("missing shutdown line in output:\n%s", out.String())
+	}
+}
+
+// TestDaemonBadFlagsAndAddr pins the two startup failure modes.
+func TestDaemonBadFlagsAndAddr(t *testing.T) {
+	out := &syncBuffer{}
+	if err := run([]string{"-definitely-not-a-flag"}, nil, out); err == nil {
+		t.Error("bad flag accepted")
+	}
+	if err := run([]string{"-addr", "256.256.256.256:1"}, nil, out); err == nil {
+		t.Error("unlistenable address accepted")
+	}
+}

@@ -1,0 +1,40 @@
+package experiments
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestServeLoadSmall runs the load harness at reduced scale: every
+// accepted job must land done with nothing lost or duplicated, and the
+// artifact writer must produce the BENCH_serve.json document.
+func TestServeLoadSmall(t *testing.T) {
+	p := Quick()
+	p.Seed = 3
+	res, err := ServeLoad(24, 1, 4, p)
+	if err != nil {
+		t.Fatalf("ServeLoad: %v", err)
+	}
+	if res.JobsSubmitted != 24 || res.JobsDone != 24 {
+		t.Fatalf("submitted=%d done=%d, want 24/24", res.JobsSubmitted, res.JobsDone)
+	}
+	if res.JobsLost != 0 || res.JobsDuplicated != 0 {
+		t.Fatalf("lost=%d duplicated=%d", res.JobsLost, res.JobsDuplicated)
+	}
+	if res.ThroughputPerSec <= 0 || res.P99JobMS <= 0 {
+		t.Errorf("degenerate latency stats: %+v", res)
+	}
+
+	path := filepath.Join(t.TempDir(), "BENCH_serve.json")
+	if err := WriteServeJSON(path, res); err != nil {
+		t.Fatalf("WriteServeJSON: %v", err)
+	}
+	var b strings.Builder
+	if err := PrintServeLoad(&b, res); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "lost=0 duplicated=0") {
+		t.Errorf("printed summary missing invariant line:\n%s", b.String())
+	}
+}

@@ -167,18 +167,25 @@ func (s *Server) handleReport(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, rec.Report())
 }
 
-// handleEvents streams a run's rounds as Server-Sent Events. Each round
-// is one `event: round` message whose id is the round index; when the
-// run finishes, a final `event: done` message carries the report
-// summary and the stream ends. Rounds are delivered exactly once, in
-// order: recorder.RoundsSince snapshots the append-only round log and
-// the change channel atomically.
+// handleEvents streams a run's rounds as Server-Sent Events.
 func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 	rec := s.run(r.PathValue("id"))
 	if rec == nil {
 		http.NotFound(w, r)
 		return
 	}
+	StreamRounds(w, r, rec)
+}
+
+// StreamRounds streams rec's rounds to w as Server-Sent Events. Each
+// round is one `event: round` message whose id is the round index; when
+// the run finishes, a final `event: done` message carries the report
+// summary and the stream ends. Rounds are delivered exactly once, in
+// order: recorder.RoundsSince snapshots the append-only round log and
+// the change channel atomically. Exported so other servers (the advisor
+// daemon's per-job endpoints in internal/serve) reuse the follower
+// protocol behind their own routing and tenancy checks.
+func StreamRounds(w http.ResponseWriter, r *http.Request, rec *recorder.Recorder) {
 	fl, ok := w.(http.Flusher)
 	if !ok {
 		http.Error(w, "streaming unsupported", http.StatusInternalServerError)

@@ -1,0 +1,134 @@
+package serve
+
+import (
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+	"time"
+)
+
+var update = flag.Bool("update", false, "rewrite the golden files")
+
+// tsRe blanks the only non-deterministic bytes in the API surface: the
+// microsecond timestamps on recorded rounds.
+var tsRe = regexp.MustCompile(`"ts_us":\s*\d+`)
+
+func normalize(body []byte) string {
+	return tsRe.ReplaceAllString(string(body), `"ts_us":0`)
+}
+
+// TestServeGoldenAPI drives every endpoint of the daemon API through a
+// deterministic script and byte-compares the full transcript — statuses,
+// admission-control headers, success bodies, error shapes, and the SSE
+// event stream — against testdata/api.golden.
+func TestServeGoldenAPI(t *testing.T) {
+	cfg, release := gatedConfig(t, Config{Runners: 1, QueueDepth: 2, RetryAfterSeconds: 1})
+	h := newHarness(t, cfg)
+	t.Cleanup(release)
+
+	var b strings.Builder
+	record := func(title, method, path string, body any) {
+		t.Helper()
+		code, raw := h.request(method, path, "", body)
+		fmt.Fprintf(&b, "### %s\n%s %s -> %d\n%s\n", title, method, path, code, normalize(raw))
+	}
+
+	record("upload workload", "POST", "/v1/workloads", WorkloadRequest{DB: "tpcd", N: 40, Seed: 5})
+	record("list workloads", "GET", "/v1/workloads", nil)
+
+	// j1 occupies the gated runner; its submit response races with the
+	// runner pickup, so it is not part of the transcript.
+	j1 := h.submit("", JobRequest{Workload: "w1", K: 6, Seed: 31})
+	waitStatus(t, h, j1, StatusRunning)
+
+	record("submit job (queued behind the running one)", "POST", "/v1/jobs",
+		JobRequest{Workload: "w1", K: 6, Seed: 32})
+	record("get queued job", "GET", "/v1/jobs/j2", nil)
+	record("submit fills the queue", "POST", "/v1/jobs",
+		JobRequest{Workload: "w1", K: 6, Seed: 33})
+
+	// Queue full: 429 with Retry-After.
+	code, raw, hdr := h.requestHeaders("POST", "/v1/jobs", "", JobRequest{Workload: "w1", K: 6, Seed: 34})
+	fmt.Fprintf(&b, "### submit over capacity\nPOST /v1/jobs -> %d\nRetry-After: %s\n%s\n",
+		code, hdr.Get("Retry-After"), normalize(raw))
+
+	record("cancel queued job", "DELETE", "/v1/jobs/j3", nil)
+	record("cancel already-cancelled job", "DELETE", "/v1/jobs/j3", nil)
+	record("get unknown job", "GET", "/v1/jobs/j999", nil)
+	record("submit against unknown workload", "POST", "/v1/jobs",
+		JobRequest{Workload: "w9", K: 6, Seed: 35})
+	record("malformed body", "POST", "/v1/jobs", map[string]any{"workload": "w1", "bogus": true})
+	record("unknown database", "POST", "/v1/workloads", WorkloadRequest{DB: "oracle"})
+	record("tenant status mid-flight", "GET", "/v1/tenant", nil)
+
+	release()
+	h.await("", j1)
+	h.await("", "j2")
+
+	record("finished job with result", "GET", "/v1/jobs/"+j1, nil)
+	record("list jobs after drain", "GET", "/v1/jobs", nil)
+	record("tenant status after drain", "GET", "/v1/tenant", nil)
+
+	// The SSE stream of a finished job replays every round exactly once,
+	// in order, then the done summary.
+	code, raw = h.request("GET", "/v1/jobs/"+j1+"/events", "", nil)
+	fmt.Fprintf(&b, "### event stream of finished job\nGET /v1/jobs/%s/events -> %d\n%s\n", j1, code, normalize(raw))
+
+	record("health endpoint via live fallback", "GET", "/healthz", nil)
+
+	golden := filepath.Join("testdata", "api.golden")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, []byte(b.String()), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("missing golden file (run with -update to create): %v", err)
+	}
+	if b.String() != string(want) {
+		t.Errorf("API transcript diverged from %s\n--- got ---\n%s\n--- want ---\n%s",
+			golden, b.String(), want)
+	}
+}
+
+func waitStatus(t *testing.T, h *harness, id, status string) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		var resp JobResponse
+		h.requestJSON("GET", "/v1/jobs/"+id, "", nil, &resp)
+		if resp.Status == status {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job %s stuck in %s waiting for %s", id, resp.Status, status)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+// requestHeaders is h.request plus the response headers.
+func (h *harness) requestHeaders(method, path, tenant string, body any) (int, []byte, http.Header) {
+	h.t.Helper()
+	code, raw := 0, []byte(nil)
+	var hdr http.Header
+	req := h.newRequest(method, path, tenant, body)
+	resp, err := h.srv.Client().Do(req)
+	if err != nil {
+		h.t.Fatalf("%s %s: %v", method, path, err)
+	}
+	defer resp.Body.Close()
+	raw = readAll(h.t, resp.Body)
+	code, hdr = resp.StatusCode, resp.Header
+	return code, raw, hdr
+}
